@@ -1,0 +1,66 @@
+// Shared helpers for the per-figure benchmark binaries.
+//
+// Every bench prints google-benchmark rows (one iteration per experiment
+// configuration, gap metrics as counters) and appends plot-ready CSV rows
+// to bench_results/<figure>.csv: `figure,series,x,y,extra`.
+//
+// Budgets scale with the METAOPT_BENCH_SCALE environment variable
+// (default 1.0) so a quick smoke run is `METAOPT_BENCH_SCALE=0.1 ./fig3...`.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "net/topologies.h"
+#include "te/demand.h"
+#include "te/path_set.h"
+#include "util/csv.h"
+
+namespace metaopt::bench {
+
+inline double budget_scale() {
+  if (const char* env = std::getenv("METAOPT_BENCH_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0.0) return v;
+  }
+  return 1.0;
+}
+
+inline double scaled(double seconds) { return seconds * budget_scale(); }
+
+/// CSV sink under bench_results/ (created on demand).
+inline util::CsvWriter csv(const std::string& figure) {
+  std::system("mkdir -p bench_results");
+  return util::CsvWriter("bench_results/" + figure + ".csv",
+                         "figure,series,x,y,extra");
+}
+
+/// Every `stride`-th pair enabled, ~`target` pairs total. This is the
+/// partially-specified-goalpost trick (§3.3) we use to keep the
+/// single-shot models tractable on the from-scratch dense simplex (the
+/// paper's own §3 scalability caveat); see EXPERIMENTS.md.
+inline std::vector<bool> spread_mask(int num_pairs, int target) {
+  std::vector<bool> mask(num_pairs, false);
+  if (target >= num_pairs) {
+    mask.assign(num_pairs, true);
+    return mask;
+  }
+  const int stride = num_pairs / target;
+  int enabled = 0;
+  for (int k = 0; k < num_pairs && enabled < target; k += stride) {
+    mask[k] = true;
+    ++enabled;
+  }
+  return mask;
+}
+
+/// Topology lookup by name for sweep benches.
+inline net::Topology topology_by_name(const std::string& name) {
+  if (name == "b4") return net::topologies::b4();
+  if (name == "abilene") return net::topologies::abilene();
+  if (name == "swan") return net::topologies::swan();
+  throw std::invalid_argument("unknown topology " + name);
+}
+
+}  // namespace metaopt::bench

@@ -1,0 +1,52 @@
+// Figure 4a: worst-case DP gap vs pinning threshold (as % of link
+// capacity) on B4, SWAN, and Abilene.
+//
+// Paper shape: the gap grows monotonically with the threshold (more
+// demands get forced onto shortest paths), with topology-dependent slope
+// even though the three networks have similar node/edge counts.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/adversarial.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace metaopt;
+
+constexpr double kBudgetPerPoint = 20.0;
+const char* kTopologies[] = {"b4", "swan", "abilene"};
+constexpr double kThresholdPct[] = {2.5, 5.0, 10.0, 15.0, 20.0};
+
+void Fig4a_DpThresholdSweep(benchmark::State& state) {
+  const std::string topo_name = kTopologies[state.range(0)];
+  const double pct = kThresholdPct[state.range(1)];
+  const net::Topology topo = bench::topology_by_name(topo_name);
+  const te::PathSet paths(topo, te::all_pairs(topo), 2);
+  core::AdversarialGapFinder finder(topo, paths);
+
+  te::DpConfig dp;
+  dp.threshold = pct / 100.0 * 1000.0;
+  core::AdversarialOptions options;
+  options.mip.time_limit_seconds = bench::scaled(kBudgetPerPoint);
+  options.seed_search_seconds = bench::scaled(kBudgetPerPoint) * 0.5;
+
+  double norm_gap = 0.0;
+  for (auto _ : state) {
+    const core::AdversarialResult r = finder.find_dp_gap(dp, options);
+    norm_gap = r.normalized_gap;
+    auto out = bench::csv("fig4a");
+    out.row("fig4a", topo_name, pct, norm_gap, r.gap);
+  }
+  state.counters["norm_gap"] = norm_gap;
+  state.SetLabel(topo_name + " T=" + util::format_double(pct) + "%");
+}
+
+BENCHMARK(Fig4a_DpThresholdSweep)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1)
+    ->ArgsProduct({{0, 1, 2}, {0, 1, 2, 3, 4}});
+
+}  // namespace
+
+BENCHMARK_MAIN();

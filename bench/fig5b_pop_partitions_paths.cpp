@@ -1,0 +1,73 @@
+// Figure 5b: POP's worst-case gap vs the number of partitions and the
+// number of paths per pair, on B4.
+//
+// Paper shape: more partitions => larger gap (capacity is split more
+// ways, so more of it can be stranded in the wrong partition); more
+// paths per pair => somewhat smaller gap (extra paths let the heuristic
+// reach fragmented capacity).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/adversarial.h"
+
+namespace {
+
+using namespace metaopt;
+
+constexpr double kBudget = 30.0;
+constexpr int kMaskPairs = 40;
+
+void run_config(benchmark::State& state, int partitions, int paths_per_pair,
+                const std::string& series) {
+  const net::Topology topo = net::topologies::b4();
+  const te::PathSet paths(topo, te::all_pairs(topo), paths_per_pair);
+  core::AdversarialGapFinder finder(topo, paths);
+
+  te::PopConfig pop;
+  pop.num_partitions = partitions;
+  const std::vector<std::uint64_t> seeds{1, 2, 3};
+
+  core::AdversarialOptions options;
+  options.mip.time_limit_seconds = bench::scaled(kBudget);
+  options.seed_search_seconds = bench::scaled(kBudget) * 0.3;
+  options.pair_mask = bench::spread_mask(paths.num_pairs(), kMaskPairs);
+
+  double norm_gap = 0.0;
+  for (auto _ : state) {
+    const core::AdversarialResult r = finder.find_pop_gap(pop, seeds, options);
+    norm_gap = r.normalized_gap;
+    auto out = bench::csv("fig5b");
+    const double x = series == "partitions" ? partitions : paths_per_pair;
+    out.row("fig5b", series, x, norm_gap, "");
+  }
+  state.counters["norm_gap"] = norm_gap;
+  state.SetLabel("partitions=" + std::to_string(partitions) +
+                 " paths=" + std::to_string(paths_per_pair));
+}
+
+/// Partition sweep at 2 paths per pair.
+void Fig5b_Partitions(benchmark::State& state) {
+  run_config(state, static_cast<int>(state.range(0)), 2, "partitions");
+}
+
+/// Path sweep at 2 partitions.
+void Fig5b_Paths(benchmark::State& state) {
+  run_config(state, 2, static_cast<int>(state.range(0)), "paths");
+}
+
+BENCHMARK(Fig5b_Partitions)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
+BENCHMARK(Fig5b_Paths)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

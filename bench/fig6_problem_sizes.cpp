@@ -1,0 +1,159 @@
+// Figure 6: size (#linear constraints, #SOS/complementarity constraints,
+// #variables) and single-thread latency of the metaoptimization compared
+// to the plain heuristic and OPT problems, on B4, for DP and POP.
+//
+// Paper shape: the metaopt model is a constant factor larger, but its
+// latency is *disproportionately* larger — the multiplicative (SOS)
+// constraints introduced by the KKT rewrite dominate solve time, not the
+// raw size.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/adversarial.h"
+#include "te/gap.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace metaopt;
+
+struct Fixture {
+  net::Topology topo = net::topologies::b4();
+  te::PathSet paths{topo, te::all_pairs(topo), 2};
+  te::DpConfig dp;
+  te::PopConfig pop;
+  std::vector<std::uint64_t> pop_seeds{1, 2, 3};
+
+  Fixture() {
+    dp.threshold = 50.0;
+    pop.num_partitions = 2;
+  }
+};
+
+void report_sizes(benchmark::State& state, const lp::ModelStats& stats) {
+  state.counters["vars"] = stats.num_vars;
+  state.counters["linear_cons"] = stats.num_constraints;
+  state.counters["sos_cons"] = stats.num_complementarities;
+  state.counters["binaries"] = stats.num_binaries;
+}
+
+void emit(const std::string& series, const lp::ModelStats& stats,
+          double latency_seconds) {
+  auto out = bench::csv("fig6");
+  out.row("fig6", series, "vars", stats.num_vars, "");
+  out.row("fig6", series, "linear_cons", stats.num_constraints, "");
+  out.row("fig6", series, "sos_cons", stats.num_complementarities, "");
+  out.row("fig6", series, "latency_s", latency_seconds, "");
+}
+
+/// Direct heuristic / OPT latency: mean of a few solves on gravity-model
+/// demands.
+template <typename SolveFn>
+double direct_latency(SolveFn&& solve) {
+  util::Stopwatch watch;
+  constexpr int kReps = 5;
+  for (int i = 0; i < kReps; ++i) solve(i);
+  return watch.seconds() / kReps;
+}
+
+void Fig6_DP_Opt(benchmark::State& state) {
+  Fixture f;
+  core::AdversarialGapFinder finder(f.topo, f.paths);
+  const auto sizes = finder.dp_problem_sizes(f.dp, core::AdversarialOptions());
+  double latency = 0.0;
+  for (auto _ : state) {
+    latency = direct_latency([&](int i) {
+      te::DemandGenerator gen(f.topo, util::Rng(100 + i));
+      te::solve_max_flow(f.topo, f.paths,
+                         te::volumes_of(gen.gravity(100.0)));
+    });
+    emit("opt", sizes.opt, latency);
+  }
+  report_sizes(state, sizes.opt);
+  state.counters["latency_s"] = latency;
+}
+
+void Fig6_DP_Heuristic(benchmark::State& state) {
+  Fixture f;
+  core::AdversarialGapFinder finder(f.topo, f.paths);
+  const auto sizes = finder.dp_problem_sizes(f.dp, core::AdversarialOptions());
+  double latency = 0.0;
+  for (auto _ : state) {
+    latency = direct_latency([&](int i) {
+      te::DemandGenerator gen(f.topo, util::Rng(100 + i));
+      te::solve_demand_pinning(f.topo, f.paths,
+                               te::volumes_of(gen.gravity(100.0)), f.dp);
+    });
+    emit("dp", sizes.heuristic, latency);
+  }
+  report_sizes(state, sizes.heuristic);
+  state.counters["latency_s"] = latency;
+}
+
+void Fig6_DP_Metaopt(benchmark::State& state) {
+  Fixture f;
+  core::AdversarialGapFinder finder(f.topo, f.paths);
+  const auto sizes = finder.dp_problem_sizes(f.dp, core::AdversarialOptions());
+  double latency = 0.0;
+  for (auto _ : state) {
+    core::AdversarialOptions options;
+    options.mip.time_limit_seconds = bench::scaled(30.0);
+    options.seed_search_seconds = bench::scaled(5.0);
+    const core::AdversarialResult r = finder.find_dp_gap(f.dp, options);
+    // Latency = time of the last incumbent improvement (the paper stops
+    // the solver on stalled progress, §3.3).
+    latency = r.trace.empty() ? r.seconds : r.trace.back().first;
+    emit("dp+opt(metaopt)", sizes.metaopt, latency);
+    state.counters["norm_gap"] = r.normalized_gap;
+  }
+  report_sizes(state, sizes.metaopt);
+  state.counters["latency_s"] = latency;
+}
+
+void Fig6_POP_Heuristic(benchmark::State& state) {
+  Fixture f;
+  core::AdversarialGapFinder finder(f.topo, f.paths);
+  const auto sizes =
+      finder.pop_problem_sizes(f.pop, f.pop_seeds, core::AdversarialOptions());
+  double latency = 0.0;
+  for (auto _ : state) {
+    latency = direct_latency([&](int i) {
+      te::DemandGenerator gen(f.topo, util::Rng(100 + i));
+      te::solve_pop(f.topo, f.paths, te::volumes_of(gen.gravity(100.0)),
+                    f.pop);
+    });
+    emit("pop", sizes.heuristic, latency);
+  }
+  report_sizes(state, sizes.heuristic);
+  state.counters["latency_s"] = latency;
+}
+
+void Fig6_POP_Metaopt(benchmark::State& state) {
+  Fixture f;
+  core::AdversarialGapFinder finder(f.topo, f.paths);
+  const auto sizes =
+      finder.pop_problem_sizes(f.pop, f.pop_seeds, core::AdversarialOptions());
+  double latency = 0.0;
+  for (auto _ : state) {
+    core::AdversarialOptions options;
+    options.mip.time_limit_seconds = bench::scaled(30.0);
+    options.seed_search_seconds = bench::scaled(5.0);
+    const core::AdversarialResult r =
+        finder.find_pop_gap(f.pop, f.pop_seeds, options);
+    latency = r.trace.empty() ? r.seconds : r.trace.back().first;
+    emit("pop+opt(metaopt)", sizes.metaopt, latency);
+    state.counters["norm_gap"] = r.normalized_gap;
+  }
+  report_sizes(state, sizes.metaopt);
+  state.counters["latency_s"] = latency;
+}
+
+BENCHMARK(Fig6_DP_Opt)->Unit(benchmark::kSecond)->Iterations(1);
+BENCHMARK(Fig6_DP_Heuristic)->Unit(benchmark::kSecond)->Iterations(1);
+BENCHMARK(Fig6_DP_Metaopt)->Unit(benchmark::kSecond)->Iterations(1);
+BENCHMARK(Fig6_POP_Heuristic)->Unit(benchmark::kSecond)->Iterations(1);
+BENCHMARK(Fig6_POP_Metaopt)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

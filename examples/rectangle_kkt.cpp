@@ -1,0 +1,67 @@
+// The Figure-2 warm-up: KKT-rewriting a tiny convex program.
+//
+// Inner problem: minimize the (squared) diagonal of a rectangle with
+// width w and length l whose perimeter is at least P. The KKT theorem
+// turns "solve this optimization" into a feasibility system; any point
+// satisfying it is optimal, giving w = l = P/4 and lambda = P/4.
+//
+// We then let an *outer* problem choose P — the exact two-level pattern
+// the paper uses for heuristics, in miniature.
+//
+// Run:  ./build/examples/rectangle_kkt
+#include <cstdio>
+
+#include "kkt/kkt_rewriter.h"
+#include "mip/branch_and_bound.h"
+
+using namespace metaopt;
+using lp::LinExpr;
+
+int main() {
+  // --- fixed P: reproduce the Fig. 2 numbers -------------------------
+  {
+    lp::Model outer;
+    const lp::Var P = outer.add_var("P", 12.0, 12.0);
+    const lp::Var w = outer.add_var("w");
+    const lp::Var l = outer.add_var("l");
+
+    kkt::InnerProblem inner(lp::ObjSense::Minimize);
+    inner.add_decision_var(w);
+    inner.add_decision_var(l);
+    inner.add_constraint(2.0 * w + 2.0 * l >= LinExpr(P), "perimeter");
+    inner.add_quadratic_objective(w, 1.0);
+    inner.add_quadratic_objective(l, 1.0);
+
+    const kkt::KktArtifacts art = kkt::emit_kkt(outer, inner, "rect.");
+    outer.set_objective(lp::ObjSense::Minimize, LinExpr(0.0));
+
+    const lp::Solution sol = mip::BranchAndBound().solve(outer);
+    std::printf("P = 12 (fixed):  w = %.3f  l = %.3f  lambda = %.3f   "
+                "(expected w = l = lambda = P/4 = 3)\n",
+                sol.values[w.id], sol.values[l.id],
+                sol.values[art.duals[0].id]);
+  }
+
+  // --- outer problem chooses P to maximize w + l ---------------------
+  {
+    lp::Model outer;
+    const lp::Var P = outer.add_var("P", 0.0, 40.0);
+    const lp::Var w = outer.add_var("w");
+    const lp::Var l = outer.add_var("l");
+
+    kkt::InnerProblem inner(lp::ObjSense::Minimize);
+    inner.add_decision_var(w);
+    inner.add_decision_var(l);
+    inner.add_constraint(2.0 * w + 2.0 * l >= LinExpr(P), "perimeter");
+    inner.add_quadratic_objective(w, 1.0);
+    inner.add_quadratic_objective(l, 1.0);
+    kkt::emit_kkt(outer, inner, "rect.");
+
+    outer.set_objective(lp::ObjSense::Maximize, w + l);
+    const lp::Solution sol = mip::BranchAndBound().solve(outer);
+    std::printf("P free in [0,40]: leader picks P = %.2f, follower answers "
+                "w + l = %.2f (= P/2)\n",
+                sol.values[P.id], sol.objective);
+  }
+  return 0;
+}

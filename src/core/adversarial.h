@@ -1,0 +1,134 @@
+// The paper's contribution: provable adversarial-input search (Eq. 1).
+//
+//   argmax_{d in ConstrainedSet}  OPT(d) - Heuristic(d)
+//
+// Both followers are embedded as KKT systems (§3.1) in one single-shot
+// model solved by branch-and-bound over the complementarity pairs and
+// big-M binaries. At every node, the candidate demand vector is
+// re-evaluated with the small direct LPs and lifted to a full feasible
+// assignment (kkt/parametric.h), so each incumbent is a *genuine*
+// adversarial input with an exactly known gap, and the branch-and-bound
+// bound certifies how far it can be from the worst case.
+//
+// POP support follows §3.2: the heuristic objective is the empirical
+// mean of several partition instantiations (or, via
+// core/sorting_network.h, a sorting-network tail percentile).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/input_constraints.h"
+#include "core/sorting_network.h"
+#include "lp/model.h"
+#include "mip/branch_and_bound.h"
+#include "net/topology.h"
+#include "te/demand_pinning.h"
+#include "te/path_set.h"
+#include "te/client_split.h"
+#include "te/pop.h"
+
+namespace metaopt::core {
+
+struct AdversarialOptions {
+  /// Demand box: every adversarial volume in [0, demand_ub];
+  /// 0 means "max link capacity".
+  double demand_ub = 0.0;
+  /// Restrict the adversarial demand support to these pairs (empty =
+  /// all pairs). Masked-out pairs are fixed to zero demand — this is the
+  /// partially-specified-goalpost trick of §3.3 and the main lever for
+  /// problem size (§3's scalability caveat).
+  std::vector<bool> pair_mask;
+  /// Solver budgets; progress-window / target-gap stops included
+  /// (mip::MipOptions, §3.3).
+  mip::MipOptions mip;
+  /// Realistic input constraints (§3.3) and exclusions (§5).
+  InputConstraints constraints;
+  /// Drive incumbents through direct re-evaluation (strongly
+  /// recommended; off only for ablation).
+  bool use_primal_heuristic = true;
+  /// Budget for the quantized black-box pass that seeds the first
+  /// incumbent (our stand-in for a commercial solver's MIP-start
+  /// heuristics; §5's extremum-point observation). 0 disables.
+  double seed_search_seconds = 3.0;
+
+  AdversarialOptions() { mip.time_limit_seconds = 60.0; }
+};
+
+struct AdversarialResult {
+  lp::SolveStatus status = lp::SolveStatus::Error;
+  /// Best verified gap OPT(d) - Heuristic(d) and its input.
+  double gap = 0.0;
+  /// gap / sum of edge capacities (the Fig. 3 metric).
+  double normalized_gap = 0.0;
+  double opt_value = 0.0;
+  double heur_value = 0.0;
+  std::vector<double> volumes;  ///< per pair (full pair vector)
+  /// Proven upper bound on the achievable gap (== gap when Optimal).
+  double bound = 0.0;
+  /// Incumbent trace: (seconds, gap) — the Fig. 3 white-box series.
+  std::vector<std::pair<double, double>> trace;
+  /// Single-shot model statistics (Fig. 6).
+  lp::ModelStats stats;
+  double seconds = 0.0;
+  long nodes = 0;
+
+  /// True when a (possibly non-optimal) adversarial input was found.
+  [[nodiscard]] bool has_solution() const { return !volumes.empty(); }
+};
+
+/// Deterministic descriptor of the random POP(I) targeted by the search
+/// (§3.2): the empirical mean over the instantiation seeds, or an order
+/// statistic extracted with a sorting network.
+struct PopObjective {
+  enum class Kind { Mean, Percentile };
+  Kind kind = Kind::Mean;
+  /// Order statistic as a fraction from the *worst* (lowest-value)
+  /// instantiation: 0 = worst outcome, 1 = best. Only for Percentile.
+  double percentile = 0.0;
+};
+
+class AdversarialGapFinder {
+ public:
+  AdversarialGapFinder(const net::Topology& topo, const te::PathSet& paths)
+      : topo_(topo), paths_(paths) {}
+
+  /// Worst-case gap of Demand Pinning vs OPT.
+  [[nodiscard]] AdversarialResult find_dp_gap(
+      const te::DpConfig& config, const AdversarialOptions& options) const;
+
+  /// Worst-case gap of POP vs OPT over the given partition
+  /// instantiation seeds (§3.2; one seed reproduces the single-instance
+  /// column of Fig. 5a). By default targets the expected gap; pass a
+  /// Percentile objective to target a tail instantiation instead.
+  [[nodiscard]] AdversarialResult find_pop_gap(
+      const te::PopConfig& config, const std::vector<std::uint64_t>& seeds,
+      const AdversarialOptions& options,
+      const PopObjective& objective = PopObjective()) const;
+
+  /// Worst-case expected gap of the full POP heuristic *with client
+  /// splitting* (Appendix A) vs OPT, over the instantiation seeds.
+  [[nodiscard]] AdversarialResult find_pop_cs_gap(
+      const te::PopConfig& config, const te::ClientSplitConfig& cs_config,
+      const std::vector<std::uint64_t>& seeds,
+      const AdversarialOptions& options) const;
+
+  /// Model-size accounting for Fig. 6: the metaopt model vs the plain
+  /// heuristic and OPT models.
+  struct ProblemSizes {
+    lp::ModelStats metaopt;
+    lp::ModelStats heuristic;
+    lp::ModelStats opt;
+  };
+  [[nodiscard]] ProblemSizes dp_problem_sizes(
+      const te::DpConfig& config, const AdversarialOptions& options) const;
+  [[nodiscard]] ProblemSizes pop_problem_sizes(
+      const te::PopConfig& config, const std::vector<std::uint64_t>& seeds,
+      const AdversarialOptions& options) const;
+
+ private:
+  const net::Topology& topo_;
+  const te::PathSet& paths_;
+};
+
+}  // namespace metaopt::core

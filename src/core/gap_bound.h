@@ -1,0 +1,52 @@
+// Certified upper bounds on the worst-case gap via the §5 primal-dual
+// rewrite (kkt/primal_dual.h).
+//
+// The McCormick-relaxed strong-duality system contains every truly
+// optimal follower response, so maximizing OPT - Heuristic over it bounds
+// the achievable gap from above — with *no* complementarity pairs. For
+// POP the bounding problem is a single LP; for DP it is a MILP over the
+// pinning indicators only. Together with the KKT search (which produces
+// verified inputs, i.e. lower bounds) this brackets the worst case:
+//
+//     best found gap  <=  true worst case  <=  primal-dual bound.
+//
+// Caveat shared with the KKT rewrite: validity rests on the declared
+// dual bounds containing an optimal dual solution (see te/max_flow.h).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/adversarial.h"
+
+namespace metaopt::core {
+
+struct GapBoundResult {
+  lp::SolveStatus status = lp::SolveStatus::Error;
+  /// Upper bound on max_d OPT(d) - Heuristic(d) over the demand box.
+  double upper_bound = 0.0;
+  double normalized_upper_bound = 0.0;
+  double seconds = 0.0;
+  lp::ModelStats stats;
+};
+
+class GapBounder {
+ public:
+  GapBounder(const net::Topology& topo, const te::PathSet& paths)
+      : topo_(topo), paths_(paths) {}
+
+  /// DP bound: MILP over the pinning indicators (no complementarity).
+  [[nodiscard]] GapBoundResult bound_dp_gap(
+      const te::DpConfig& config, const AdversarialOptions& options) const;
+
+  /// POP bound: a single LP.
+  [[nodiscard]] GapBoundResult bound_pop_gap(
+      const te::PopConfig& config, const std::vector<std::uint64_t>& seeds,
+      const AdversarialOptions& options) const;
+
+ private:
+  const net::Topology& topo_;
+  const te::PathSet& paths_;
+};
+
+}  // namespace metaopt::core

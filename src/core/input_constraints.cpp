@@ -1,0 +1,174 @@
+#include "core/input_constraints.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace metaopt::core {
+
+namespace {
+
+constexpr double kTol = 1e-7;
+
+int count_active(const std::vector<lp::Var>& demand) {
+  int n = 0;
+  for (const lp::Var v : demand) {
+    if (v.valid()) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+ConstraintArtifacts apply_input_constraints(lp::Model& model,
+                                            const std::vector<lp::Var>& demand,
+                                            const InputConstraints& constraints,
+                                            double demand_ub) {
+  ConstraintArtifacts artifacts;
+
+  for (std::size_t g = 0; g < constraints.goalposts.size(); ++g) {
+    const Goalpost& gp = constraints.goalposts[g];
+    if (gp.reference.size() != demand.size()) {
+      throw std::invalid_argument("goalpost reference size mismatch");
+    }
+    if (!gp.mask.empty() && gp.mask.size() != demand.size()) {
+      throw std::invalid_argument("goalpost mask size mismatch");
+    }
+    for (std::size_t k = 0; k < demand.size(); ++k) {
+      if (!demand[k].valid()) continue;
+      if (!gp.mask.empty() && !gp.mask[k]) continue;
+      const std::string base =
+          "goal" + std::to_string(g) + "[" + std::to_string(k) + "]";
+      model.add_constraint(
+          lp::LinExpr(demand[k]) <=
+              lp::LinExpr(gp.reference[k] + gp.max_deviation),
+          base + ".hi");
+      model.add_constraint(
+          lp::LinExpr(demand[k]) >=
+              lp::LinExpr(std::max(0.0, gp.reference[k] - gp.max_deviation)),
+          base + ".lo");
+    }
+  }
+
+  if (constraints.mean_band) {
+    const int n = count_active(demand);
+    if (n == 0) throw std::invalid_argument("mean_band with no demand vars");
+    artifacts.mean_var = model.add_var("d_mean", 0.0, demand_ub);
+    lp::LinExpr sum;
+    for (const lp::Var v : demand) {
+      if (v.valid()) sum += lp::LinExpr(v);
+    }
+    model.add_constraint(
+        sum == static_cast<double>(n) * lp::LinExpr(artifacts.mean_var),
+        "mean_def");
+    for (std::size_t k = 0; k < demand.size(); ++k) {
+      if (!demand[k].valid()) continue;
+      model.add_constraint(lp::LinExpr(demand[k]) -
+                                   lp::LinExpr(artifacts.mean_var) <=
+                               lp::LinExpr(*constraints.mean_band),
+                           "mean_hi[" + std::to_string(k) + "]");
+      model.add_constraint(lp::LinExpr(artifacts.mean_var) -
+                                   lp::LinExpr(demand[k]) <=
+                               lp::LinExpr(*constraints.mean_band),
+                           "mean_lo[" + std::to_string(k) + "]");
+    }
+  }
+
+  const double big_m = demand_ub + constraints.exclusion_radius + 1.0;
+  for (std::size_t x = 0; x < constraints.excluded.size(); ++x) {
+    const std::vector<double>& point = constraints.excluded[x];
+    if (point.size() != demand.size()) {
+      throw std::invalid_argument("excluded point size mismatch");
+    }
+    ConstraintArtifacts::ExclusionVars ev;
+    ev.z_plus.assign(demand.size(), lp::Var{});
+    ev.z_minus.assign(demand.size(), lp::Var{});
+    lp::LinExpr any;
+    for (std::size_t k = 0; k < demand.size(); ++k) {
+      if (!demand[k].valid()) continue;
+      const std::string base =
+          "excl" + std::to_string(x) + "[" + std::to_string(k) + "]";
+      ev.z_plus[k] = model.add_binary(base + ".zp");
+      ev.z_minus[k] = model.add_binary(base + ".zm");
+      // z_plus = 1 forces d_k >= point_k + r.
+      model.add_constraint(
+          lp::LinExpr(demand[k]) >=
+              lp::LinExpr(point[k] + constraints.exclusion_radius) -
+                  big_m * (1.0 - lp::LinExpr(ev.z_plus[k])),
+          base + ".hi");
+      // z_minus = 1 forces d_k <= point_k - r.
+      model.add_constraint(
+          lp::LinExpr(demand[k]) <=
+              lp::LinExpr(point[k] - constraints.exclusion_radius) +
+                  big_m * (1.0 - lp::LinExpr(ev.z_minus[k])),
+          base + ".lo");
+      any += lp::LinExpr(ev.z_plus[k]) + lp::LinExpr(ev.z_minus[k]);
+    }
+    model.add_constraint(any >= lp::LinExpr(1.0),
+                         "excl" + std::to_string(x) + ".any");
+    artifacts.exclusions.push_back(std::move(ev));
+  }
+  return artifacts;
+}
+
+bool complete_constraint_assignment(const lp::Model& model,
+                                    const std::vector<lp::Var>& demand,
+                                    const InputConstraints& constraints,
+                                    const ConstraintArtifacts& artifacts,
+                                    const std::vector<double>& volumes,
+                                    std::vector<double>& assignment) {
+  (void)model;
+  for (const Goalpost& gp : constraints.goalposts) {
+    for (std::size_t k = 0; k < demand.size(); ++k) {
+      if (!demand[k].valid()) continue;
+      if (!gp.mask.empty() && !gp.mask[k]) continue;
+      if (std::abs(volumes[k] - gp.reference[k]) > gp.max_deviation + kTol) {
+        return false;
+      }
+    }
+  }
+
+  if (constraints.mean_band) {
+    double sum = 0.0;
+    int n = 0;
+    for (std::size_t k = 0; k < demand.size(); ++k) {
+      if (!demand[k].valid()) continue;
+      sum += volumes[k];
+      ++n;
+    }
+    const double mean = n ? sum / n : 0.0;
+    for (std::size_t k = 0; k < demand.size(); ++k) {
+      if (!demand[k].valid()) continue;
+      if (std::abs(volumes[k] - mean) > *constraints.mean_band + kTol) {
+        return false;
+      }
+    }
+    assignment[artifacts.mean_var.id] = mean;
+  }
+
+  for (std::size_t x = 0; x < constraints.excluded.size(); ++x) {
+    const std::vector<double>& point = constraints.excluded[x];
+    const auto& ev = artifacts.exclusions[x];
+    bool satisfied = false;
+    for (std::size_t k = 0; k < demand.size(); ++k) {
+      if (!demand[k].valid()) continue;
+      assignment[ev.z_plus[k].id] = 0.0;
+      assignment[ev.z_minus[k].id] = 0.0;
+    }
+    for (std::size_t k = 0; k < demand.size() && !satisfied; ++k) {
+      if (!demand[k].valid()) continue;
+      if (volumes[k] >= point[k] + constraints.exclusion_radius - kTol) {
+        assignment[ev.z_plus[k].id] = 1.0;
+        satisfied = true;
+      } else if (volumes[k] <=
+                 point[k] - constraints.exclusion_radius + kTol) {
+        assignment[ev.z_minus[k].id] = 1.0;
+        satisfied = true;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+}  // namespace metaopt::core

@@ -1,0 +1,80 @@
+// Realistic constraints on adversarial inputs (§3.3) and diverse-input
+// exclusion (§5).
+//
+// ConstrainedSet in Eq. 1 is expressed as extra rows on the outer demand
+// variables:
+//  * goalposts — each demand within a distance of a reference demand
+//    vector (e.g. historical traffic), possibly only on a subset of
+//    pairs ("partially specified");
+//  * intra-input constraints — every demand within a band around the
+//    mean demand (the paper's example of g(I) >= f(I) constraints);
+//  * exclusions — previously found adversarial inputs are removed from
+//    the search space by requiring L-infinity distance >= radius from
+//    each (a disjunction encoded with big-M binaries).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "lp/model.h"
+
+namespace metaopt::core {
+
+struct Goalpost {
+  /// Reference volumes, one per demand pair (same indexing as the
+  /// adversarial demand vector).
+  std::vector<double> reference;
+  /// Maximum absolute deviation |d_k - reference_k|.
+  double max_deviation = 0.0;
+  /// Optional pair mask; empty means the goalpost binds every pair.
+  /// Unmasked pairs are unconstrained ("partially specified goalpost").
+  std::vector<bool> mask;
+};
+
+struct InputConstraints {
+  std::vector<Goalpost> goalposts;
+  /// Intra-input constraint: |d_k - mean(d)| <= mean_band for all k
+  /// (mean over pairs that carry demand variables).
+  std::optional<double> mean_band;
+  /// Diverse-input search: every excluded point must be at L-infinity
+  /// distance >= exclusion_radius from the solution.
+  std::vector<std::vector<double>> excluded;
+  double exclusion_radius = 0.0;
+
+  [[nodiscard]] bool empty() const {
+    return goalposts.empty() && !mean_band.has_value() && excluded.empty();
+  }
+};
+
+/// Bookkeeping needed to complete heuristic incumbents (auxiliary
+/// variables introduced by the encoding).
+struct ConstraintArtifacts {
+  lp::Var mean_var;  ///< valid iff mean_band was requested
+  /// Per exclusion: (z_plus[k], z_minus[k]) indicator pairs.
+  struct ExclusionVars {
+    std::vector<lp::Var> z_plus;
+    std::vector<lp::Var> z_minus;
+  };
+  std::vector<ExclusionVars> exclusions;
+};
+
+/// Emits the constraint rows into `model` over the demand variables
+/// `demand` (invalid Vars are skipped — pairs without paths or masked
+/// out of the adversarial support). `demand_ub` sizes the big-M terms.
+ConstraintArtifacts apply_input_constraints(lp::Model& model,
+                                            const std::vector<lp::Var>& demand,
+                                            const InputConstraints& constraints,
+                                            double demand_ub);
+
+/// Checks `volumes` against the constraints (same semantics as the rows)
+/// and, on success, fills the auxiliary variable values (mean, exclusion
+/// indicators) into `assignment`. Returns false if the point violates
+/// the constrained set — the metaopt primal heuristic then skips it.
+bool complete_constraint_assignment(const lp::Model& model,
+                                    const std::vector<lp::Var>& demand,
+                                    const InputConstraints& constraints,
+                                    const ConstraintArtifacts& artifacts,
+                                    const std::vector<double>& volumes,
+                                    std::vector<double>& assignment);
+
+}  // namespace metaopt::core

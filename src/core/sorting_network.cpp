@@ -1,0 +1,99 @@
+#include "core/sorting_network.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace metaopt::core {
+
+SortingNetwork encode_sorting_network(lp::Model& model,
+                                      const std::vector<lp::LinExpr>& values,
+                                      double value_ub,
+                                      const std::string& prefix) {
+  if (values.empty()) {
+    throw std::invalid_argument("encode_sorting_network: no inputs");
+  }
+  SortingNetwork net;
+  net.num_inputs = static_cast<int>(values.size());
+  const int n = net.num_inputs;
+  const double big_m = value_ub;
+
+  // Current expression on each wire.
+  std::vector<lp::LinExpr> wires = values;
+
+  for (int stage = 0; stage < n; ++stage) {
+    for (int i = stage % 2; i + 1 < n; i += 2) {
+      const std::string tag =
+          prefix + std::to_string(stage) + "_" + std::to_string(i);
+      Comparator comp;
+      comp.wire_a = i;
+      comp.wire_b = i + 1;
+      comp.stage = stage;
+      comp.hi = model.add_var(tag + ".hi", 0.0, value_ub);
+      comp.lo = model.add_var(tag + ".lo", 0.0, value_ub);
+      comp.z = model.add_binary(tag + ".z");
+      const lp::LinExpr& x = wires[i];
+      const lp::LinExpr& y = wires[i + 1];
+      // hi = max(x, y):  hi >= both, and <= one of them selected by z.
+      model.add_constraint(lp::LinExpr(comp.hi) >= x, tag + ".ge_x");
+      model.add_constraint(lp::LinExpr(comp.hi) >= y, tag + ".ge_y");
+      model.add_constraint(
+          lp::LinExpr(comp.hi) <= x + big_m * lp::LinExpr(comp.z),
+          tag + ".le_x");
+      model.add_constraint(
+          lp::LinExpr(comp.hi) <= y + big_m * (1.0 - lp::LinExpr(comp.z)),
+          tag + ".le_y");
+      // lo = x + y - hi  (so {lo, hi} = {x, y} as a multiset).
+      model.add_constraint(lp::LinExpr(comp.lo) == x + y - lp::LinExpr(comp.hi),
+                           tag + ".lo_def");
+      wires[i] = lp::LinExpr(comp.lo);
+      wires[i + 1] = lp::LinExpr(comp.hi);
+      net.comparators.push_back(comp);
+    }
+  }
+  // After n transposition stages the wires are sorted ascending; each
+  // wire is now a single variable (lo/hi of its last comparator) except
+  // in the degenerate n == 1 case.
+  net.sorted.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const lp::LinExpr& w = wires[i];
+    if (w.terms().size() == 1 && w.constant() == 0.0 &&
+        w.terms()[0].second == 1.0) {
+      net.sorted.push_back(lp::Var{w.terms()[0].first});
+    } else {
+      // n == 1: alias through a fresh variable for a uniform interface.
+      const lp::Var out =
+          model.add_var(prefix + "out" + std::to_string(i), 0.0, value_ub);
+      model.add_constraint(lp::LinExpr(out) == w,
+                           prefix + "out_def" + std::to_string(i));
+      net.sorted.push_back(out);
+    }
+  }
+  return net;
+}
+
+void complete_sorting_assignment(const SortingNetwork& network,
+                                 const std::vector<double>& inputs,
+                                 std::vector<double>& assignment) {
+  std::vector<double> wires = inputs;
+  std::size_t next = 0;
+  const int n = network.num_inputs;
+  for (int stage = 0; stage < n; ++stage) {
+    for (int i = stage % 2; i + 1 < n; i += 2) {
+      const Comparator& comp = network.comparators.at(next++);
+      const double x = wires[i];
+      const double y = wires[i + 1];
+      const double hi = std::max(x, y);
+      const double lo = std::min(x, y);
+      assignment[comp.hi.id] = hi;
+      assignment[comp.lo.id] = lo;
+      assignment[comp.z.id] = y > x ? 1.0 : 0.0;
+      wires[i] = lo;
+      wires[i + 1] = hi;
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    assignment[network.sorted[i].id] = wires[i];
+  }
+}
+
+}  // namespace metaopt::core

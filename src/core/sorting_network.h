@@ -1,0 +1,52 @@
+// Sorting network encoding (§3.2): POP(I) is a random variable, and one
+// alternative to optimizing its empirical mean is to optimize a tail
+// order statistic. The paper "bubbles up the worst outcomes" with a
+// sorting network whose compare-exchange gates are encoded as big-M
+// min/max gadgets; the outer objective can then reference "the p-th
+// worst instantiation" as a plain variable.
+//
+// We use an odd-even transposition network (n rounds of adjacent
+// compare-exchanges) — asymptotically crude but exactly right for the
+// handful of instantiations the expectation surrogate uses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lp/model.h"
+
+namespace metaopt::core {
+
+/// One compare-exchange gate: (x, y) -> (lo, hi) with selector binary z
+/// (z = 1 iff y > x so that hi == max(x, y) is representable).
+struct Comparator {
+  lp::Var hi;
+  lp::Var lo;
+  lp::Var z;
+  int wire_a = 0;
+  int wire_b = 0;
+  int stage = 0;
+};
+
+struct SortingNetwork {
+  /// Output wires, ascending: sorted.front() is the smallest input.
+  std::vector<lp::Var> sorted;
+  std::vector<Comparator> comparators;
+  int num_inputs = 0;
+};
+
+/// Encodes a network sorting `values` (each known to lie in
+/// [0, value_ub]) into `model`. Returns the output variables.
+SortingNetwork encode_sorting_network(lp::Model& model,
+                                      const std::vector<lp::LinExpr>& values,
+                                      double value_ub,
+                                      const std::string& prefix = "sort.");
+
+/// Fills the network's auxiliary variables (hi/lo/z per comparator and
+/// the output wires) in `assignment` for concrete `inputs` — used by the
+/// metaopt primal heuristic to complete incumbents.
+void complete_sorting_assignment(const SortingNetwork& network,
+                                 const std::vector<double>& inputs,
+                                 std::vector<double>& assignment);
+
+}  // namespace metaopt::core

@@ -1,0 +1,70 @@
+#include "kkt/canon.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace metaopt::kkt::detail {
+
+std::vector<CanonRow> canonicalize(const lp::Model& outer,
+                                   const InnerProblem& inner,
+                                   const std::string& prefix) {
+  std::unordered_set<lp::VarId> seen;
+  for (const lp::Var v : inner.decision_vars()) {
+    if (!v.valid() || v.id >= outer.num_vars()) {
+      throw std::invalid_argument(
+          "canonicalize: decision var not in outer model");
+    }
+    if (!seen.insert(v.id).second) {
+      throw std::invalid_argument("canonicalize: duplicate decision var " +
+                                  outer.var(v).name);
+    }
+  }
+
+  std::vector<CanonRow> rows;
+  rows.reserve(inner.constraints().size() +
+               2 * inner.decision_vars().size());
+  for (std::size_t i = 0; i < inner.constraints().size(); ++i) {
+    const InnerConstraint& c = inner.constraints()[i];
+    CanonRow row;
+    row.name = c.name.empty() ? prefix + "c" + std::to_string(i) : c.name;
+    row.dual_bound = c.dual_bound;
+    row.declared_index = static_cast<int>(i);
+    row.is_eq = c.spec.sense == lp::Sense::Equal;
+    row.g = c.spec.lhs;
+    if (c.spec.sense == lp::Sense::GreaterEqual) {
+      row.g *= -1.0;
+      row.g.add_constant(c.spec.rhs);
+    } else {
+      row.g.add_constant(-c.spec.rhs);
+    }
+    rows.push_back(std::move(row));
+  }
+
+  for (const lp::Var v : inner.decision_vars()) {
+    const lp::VarInfo& info = outer.var(v);
+    if (std::isfinite(info.lb)) {
+      CanonRow row;  // lb - x <= 0
+      row.name = prefix + "lb(" + info.name + ")";
+      row.dual_bound = inner.bound_dual_bound();
+      row.g.add_term(v, -1.0);
+      row.g.add_constant(info.lb);
+      row.source = KktRowInfo::Source::LowerBound;
+      row.bound_var = v.id;
+      rows.push_back(std::move(row));
+    }
+    if (std::isfinite(info.ub)) {
+      CanonRow row;  // x - ub <= 0
+      row.name = prefix + "ub(" + info.name + ")";
+      row.dual_bound = inner.bound_dual_bound();
+      row.g.add_term(v, 1.0);
+      row.g.add_constant(-info.ub);
+      row.source = KktRowInfo::Source::UpperBound;
+      row.bound_var = v.id;
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+}  // namespace metaopt::kkt::detail

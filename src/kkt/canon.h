@@ -1,0 +1,36 @@
+// Shared canonicalization of inner problems, used by both rewriters.
+//
+// Every declared constraint is rewritten as g(x, theta) <= 0 (or == 0),
+// and each finite bound of a decision variable becomes an extra
+// inequality row, so multipliers for bounds (reduced costs) participate
+// in stationarity / dual feasibility uniformly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kkt/inner_problem.h"
+#include "kkt/kkt_rewriter.h"
+#include "lp/model.h"
+
+namespace metaopt::kkt::detail {
+
+/// One inner row in canonical "g <= 0" / "g == 0" form.
+struct CanonRow {
+  lp::LinExpr g;  // terms + constant, sense folded in
+  bool is_eq = false;
+  double dual_bound = lp::kInf;
+  std::string name;
+  KktRowInfo::Source source = KktRowInfo::Source::Declared;
+  int declared_index = -1;
+  lp::VarId bound_var = -1;
+};
+
+/// Canonicalizes declared constraints followed by per-decision-variable
+/// lb/ub rows. Throws std::invalid_argument on invalid decision vars or
+/// duplicates (shared validation for both rewriters).
+std::vector<CanonRow> canonicalize(const lp::Model& outer,
+                                   const InnerProblem& inner,
+                                   const std::string& prefix);
+
+}  // namespace metaopt::kkt::detail

@@ -1,0 +1,134 @@
+#include "kkt/kkt_rewriter.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "kkt/canon.h"
+
+namespace metaopt::kkt {
+
+using detail::CanonRow;
+using lp::ConstraintSpec;
+using lp::LinExpr;
+using lp::Model;
+using lp::Sense;
+using lp::Var;
+using lp::VarId;
+
+KktArtifacts emit_kkt(Model& outer, const InnerProblem& inner,
+                      const std::string& prefix) {
+  KktArtifacts out;
+  const double sign =
+      inner.sense() == lp::ObjSense::Maximize ? -1.0 : 1.0;  // internal min
+
+  std::unordered_map<VarId, int> decision_index;
+  decision_index.reserve(inner.decision_vars().size());
+  for (std::size_t j = 0; j < inner.decision_vars().size(); ++j) {
+    decision_index.emplace(inner.decision_vars()[j].id, static_cast<int>(j));
+  }
+
+  const std::vector<CanonRow> rows =
+      detail::canonicalize(outer, inner, prefix);
+
+  // Stationarity accumulators: one expression per decision variable,
+  // seeded with the (internally minimized) objective gradient.
+  std::vector<LinExpr> stationarity(inner.decision_vars().size());
+  for (const auto& [vid, coef] : inner.objective().terms()) {
+    auto it = decision_index.find(vid);
+    if (it != decision_index.end()) {
+      stationarity[it->second].add_constant(sign * coef);
+    }
+  }
+  for (const auto& [vid, coef] : inner.quadratic_objective()) {
+    auto it = decision_index.find(vid);
+    if (it == decision_index.end()) {
+      throw std::invalid_argument(
+          "emit_kkt: quadratic objective on a non-decision variable");
+    }
+    if (sign * coef < 0.0) {
+      throw std::invalid_argument(
+          "emit_kkt: quadratic objective term is nonconvex");
+    }
+    // d(q x^2)/dx = 2 q x — linear in x, so stationarity stays linear.
+    stationarity[it->second].add_term(vid, sign * 2.0 * coef);
+  }
+
+  const int vars_before = outer.num_vars();
+  const int cons_before = outer.num_constraints();
+
+  // Emit rows: slack + dual + complementarity for inequalities,
+  // verbatim row + free dual for equalities.
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const CanonRow& row = rows[i];
+    KktRowInfo info;
+    info.source = row.source;
+    info.declared_index = row.declared_index;
+    info.bound_var = row.bound_var;
+    info.is_eq = row.is_eq;
+    info.g = row.g;
+    if (row.is_eq) {
+      // Primal feasibility (verbatim).
+      LinExpr lhs = row.g;
+      const double rhs = -lhs.constant();
+      lhs.add_constant(-lhs.constant());
+      outer.add_constraint(ConstraintSpec{lhs.normalized(), Sense::Equal, rhs},
+                           row.name);
+      // Free multiplier (optionally boxed).
+      const double b = row.dual_bound;
+      const Var mu = outer.add_var(prefix + "mu" + std::to_string(i),
+                                   std::isfinite(b) ? -b : -lp::kInf,
+                                   std::isfinite(b) ? b : lp::kInf);
+      out.duals.push_back(mu);
+      info.dual = mu;
+      for (const auto& [vid, coef] : row.g.terms()) {
+        auto it = decision_index.find(vid);
+        if (it != decision_index.end()) {
+          stationarity[it->second].add_term(mu, coef);
+        }
+      }
+    } else {
+      // Slack definition: g + s == 0, s >= 0 (implies g <= 0).
+      const Var s =
+          outer.add_var(prefix + "s" + std::to_string(i), 0.0, lp::kInf);
+      const Var lam = outer.add_var(prefix + "lam" + std::to_string(i), 0.0,
+                                    row.dual_bound);
+      LinExpr lhs = row.g;
+      lhs.add_term(s, 1.0);
+      const double rhs = -lhs.constant();
+      lhs.add_constant(-lhs.constant());
+      outer.add_constraint(ConstraintSpec{lhs.normalized(), Sense::Equal, rhs},
+                           prefix + "slackdef(" + row.name + ")");
+      outer.add_complementarity(lam, s, prefix + "cs(" + row.name + ")");
+      out.duals.push_back(lam);
+      out.slacks.push_back(s);
+      info.dual = lam;
+      info.slack = s;
+      ++out.num_complementarities;
+      for (const auto& [vid, coef] : row.g.terms()) {
+        auto it = decision_index.find(vid);
+        if (it != decision_index.end()) {
+          stationarity[it->second].add_term(lam, coef);
+        }
+      }
+    }
+    out.rows.push_back(std::move(info));
+  }
+
+  // Stationarity equalities.
+  for (std::size_t j = 0; j < stationarity.size(); ++j) {
+    LinExpr expr = stationarity[j];
+    const double rhs = -expr.constant();
+    expr.add_constant(-expr.constant());
+    outer.add_constraint(ConstraintSpec{expr.normalized(), Sense::Equal, rhs},
+                         prefix + "stat(" +
+                             outer.var(inner.decision_vars()[j]).name + ")");
+  }
+
+  out.objective_expr = inner.objective();
+  out.num_vars_added = outer.num_vars() - vars_before;
+  out.num_constraints_added = outer.num_constraints() - cons_before;
+  return out;
+}
+
+}  // namespace metaopt::kkt

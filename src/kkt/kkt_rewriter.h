@@ -1,0 +1,73 @@
+// The KKT single-shot rewrite (§3.1).
+//
+// Given an InnerProblem, emits into the shared outer Model the feasibility
+// system whose solutions are exactly the inner problem's optimal points:
+//
+//   * primal feasibility  — slack variable s_i >= 0 with a defining
+//     equality per inequality row; equality rows are added verbatim;
+//   * dual feasibility    — one multiplier lambda_i >= 0 per inequality
+//     (free mu_e per equality), optionally capped by the declared dual
+//     bounds;
+//   * stationarity        — one equality per decision variable:
+//     dObj/dx_j + sum_i lambda_i dg_i/dx_j = 0 (internally minimized);
+//   * complementary slackness — a complementarity pair (lambda_i, s_i)
+//     per inequality: the multiplicative constraints that become SOS1 in
+//     Gurobi and branching decisions in our branch-and-bound.
+//
+// Outer parameters (any variable not declared a decision variable) pass
+// through: they appear in the slack equalities but never in stationarity,
+// mirroring Fig. 2 where the perimeter P is a constant of the inner
+// problem.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kkt/inner_problem.h"
+#include "lp/model.h"
+
+namespace metaopt::kkt {
+
+/// Bookkeeping for one canonical inner row, enabling KKT-point assembly
+/// from a direct solve (kkt/parametric.h).
+struct KktRowInfo {
+  enum class Source { Declared, LowerBound, UpperBound };
+  Source source = Source::Declared;
+  int declared_index = -1;       ///< index into inner.constraints()
+  lp::VarId bound_var = -1;      ///< decision var of a bound row
+  bool is_eq = false;
+  lp::Var dual;                  ///< lambda (>=0) or mu (free)
+  lp::Var slack;                 ///< invalid for equality rows
+  /// Canonical g(x, theta) with the row written as g <= 0 (or g == 0):
+  /// slack value is -g at a feasible point.
+  lp::LinExpr g;
+};
+
+/// What the rewrite produced, for wiring the outer objective and for
+/// Figure-6 style accounting.
+struct KktArtifacts {
+  /// The inner optimum as a linear expression over outer-model variables
+  /// (in the inner problem's own sense). Valid at any feasible point of
+  /// the emitted system.
+  lp::LinExpr objective_expr;
+  /// Multiplier variable per inner constraint, in declaration order
+  /// (bound-derived rows follow the declared rows).
+  std::vector<lp::Var> duals;
+  std::vector<lp::Var> slacks;
+  /// Per-canonical-row detail, aligned with the emission order
+  /// (declared rows first, then lb/ub rows per decision variable).
+  std::vector<KktRowInfo> rows;
+  int num_complementarities = 0;
+  int num_constraints_added = 0;
+  int num_vars_added = 0;
+};
+
+/// Emits the KKT system of `inner` into `outer`. `prefix` namespaces the
+/// generated variable/constraint names ("opt.", "heur.", ...).
+/// Throws std::invalid_argument if a constraint multiplies two decision
+/// variables (nonlinear) or if a quadratic term sits on a non-decision
+/// variable.
+KktArtifacts emit_kkt(lp::Model& outer, const InnerProblem& inner,
+                      const std::string& prefix);
+
+}  // namespace metaopt::kkt

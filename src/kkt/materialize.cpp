@@ -1,0 +1,19 @@
+#include "kkt/materialize.h"
+
+namespace metaopt::kkt {
+
+void materialize_constraints(lp::Model& model, const InnerProblem& inner) {
+  for (const InnerConstraint& c : inner.constraints()) {
+    model.add_constraint(c.spec, c.name);
+  }
+}
+
+void materialize(lp::Model& model, const InnerProblem& inner) {
+  materialize_constraints(model, inner);
+  model.set_objective(inner.sense(), inner.objective());
+  for (const auto& [vid, coef] : inner.quadratic_objective()) {
+    model.add_quadratic_objective(lp::Var{vid}, coef);
+  }
+}
+
+}  // namespace metaopt::kkt

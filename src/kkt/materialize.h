@@ -1,0 +1,24 @@
+// Materializing an InnerProblem as an ordinary optimization over a Model.
+//
+// The TE formulations are written once as InnerProblems; the *direct*
+// solvers (used by the black-box searchers, by the primal heuristic
+// inside branch-and-bound, and by tests as ground truth) materialize them
+// into the model and run the simplex, while the white-box path feeds the
+// same InnerProblem through emit_kkt. One source of truth, two consumers.
+#pragma once
+
+#include "kkt/inner_problem.h"
+#include "lp/model.h"
+
+namespace metaopt::kkt {
+
+/// Adds the inner problem's constraints to `model` and installs its
+/// objective (sense and quadratic part included). The inner problem must
+/// have been built over `model`'s variables.
+void materialize(lp::Model& model, const InnerProblem& inner);
+
+/// Same but only the constraints — for composing several inner problems
+/// into one model with a custom objective.
+void materialize_constraints(lp::Model& model, const InnerProblem& inner);
+
+}  // namespace metaopt::kkt

@@ -1,0 +1,130 @@
+#include "kkt/parametric.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace metaopt::kkt {
+
+namespace {
+
+/// Builds the substituted fresh LinExpr: decision-var terms remapped,
+/// parameter terms folded into the constant.
+lp::LinExpr substitute(const lp::LinExpr& expr,
+                       const std::unordered_map<lp::VarId, lp::VarId>& remap,
+                       const std::vector<double>& outer_values) {
+  lp::LinExpr out;
+  out.add_constant(expr.constant());
+  for (const auto& [vid, coef] : expr.terms()) {
+    auto it = remap.find(vid);
+    if (it != remap.end()) {
+      out.add_term(it->second, coef);
+    } else {
+      out.add_constant(coef * outer_values[vid]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ParametricSolve solve_inner_at(const InnerProblem& inner,
+                               const lp::Model& outer,
+                               const std::vector<double>& outer_values) {
+  if (!inner.quadratic_objective().empty()) {
+    throw std::invalid_argument(
+        "solve_inner_at: quadratic inner objectives are not supported");
+  }
+  if (outer_values.size() != static_cast<std::size_t>(outer.num_vars())) {
+    throw std::invalid_argument("solve_inner_at: outer value size mismatch");
+  }
+
+  lp::Model fresh;
+  std::unordered_map<lp::VarId, lp::VarId> remap;
+  remap.reserve(inner.decision_vars().size());
+  for (const lp::Var v : inner.decision_vars()) {
+    const lp::VarInfo& info = outer.var(v);
+    const lp::Var nv = fresh.add_var(info.name, info.lb, info.ub);
+    remap.emplace(v.id, nv.id);
+  }
+  for (const InnerConstraint& c : inner.constraints()) {
+    lp::ConstraintSpec spec;
+    spec.sense = c.spec.sense;
+    lp::LinExpr lhs = substitute(c.spec.lhs, remap, outer_values);
+    spec.rhs = c.spec.rhs - lhs.constant();
+    lhs.add_constant(-lhs.constant());
+    lhs.normalize();
+    spec.lhs = std::move(lhs);
+    fresh.add_constraint(std::move(spec), c.name);
+  }
+  lp::LinExpr obj = substitute(inner.objective(), remap, outer_values);
+  fresh.set_objective(inner.sense(), std::move(obj));
+
+  ParametricSolve out;
+  out.solution = lp::SimplexSolver().solve(fresh);
+  return out;
+}
+
+bool assemble_kkt_point(const lp::Model& outer, const InnerProblem& inner,
+                        const KktArtifacts& art, const ParametricSolve& ps,
+                        std::vector<double>& assignment) {
+  if (!ps.ok()) return false;
+  if (assignment.size() != static_cast<std::size_t>(outer.num_vars())) {
+    return false;
+  }
+
+  // Decision values: fresh var j == inner.decision_vars()[j].
+  std::unordered_map<lp::VarId, int> fresh_index;
+  for (std::size_t j = 0; j < inner.decision_vars().size(); ++j) {
+    const lp::Var v = inner.decision_vars()[j];
+    if (std::isfinite(outer.var(v).ub)) return false;  // see header
+    fresh_index.emplace(v.id, static_cast<int>(j));
+    assignment[v.id] = ps.solution.values[j];
+  }
+
+  for (const KktRowInfo& row : art.rows) {
+    // Multiplier value.
+    double dual_value = 0.0;
+    switch (row.source) {
+      case KktRowInfo::Source::Declared:
+        dual_value = ps.solution.duals[row.declared_index];
+        break;
+      case KktRowInfo::Source::LowerBound:
+        dual_value = std::max(
+            ps.solution.reduced_costs[fresh_index.at(row.bound_var)], 0.0);
+        break;
+      case KktRowInfo::Source::UpperBound:
+        return false;  // unreachable given the finite-ub check above
+    }
+    if (!row.is_eq && dual_value < 0.0) {
+      if (dual_value < -1e-6) return false;  // genuine sign violation
+      dual_value = 0.0;
+    }
+    const lp::VarInfo& dual_info = outer.var(row.dual);
+    if (dual_value < dual_info.lb - 1e-9 || dual_value > dual_info.ub + 1e-9) {
+      // The direct solve picked duals outside the declared analytic
+      // bounds; skip this incumbent rather than emit an invalid point.
+      return false;
+    }
+    assignment[row.dual.id] = std::clamp(dual_value, dual_info.lb,
+                                         dual_info.ub);
+
+    // Slack value s = -g at the assembled point.
+    if (!row.is_eq) {
+      double g = outer.eval(row.g, assignment);
+      if (g > 1e-6) return false;  // primal infeasibility: reject
+      double s = std::max(-g, 0.0);
+      // Complementary slackness: zero out the smaller side so the pair
+      // product vanishes exactly despite float noise.
+      if (assignment[row.dual.id] > 1e-7 && s <= 1e-5) s = 0.0;
+      if (s > 1e-7 && assignment[row.dual.id] <= 1e-5) {
+        assignment[row.dual.id] = 0.0;
+      }
+      assignment[row.slack.id] = s;
+    }
+  }
+  return true;
+}
+
+}  // namespace metaopt::kkt

@@ -1,0 +1,59 @@
+// Parametric inner solves and KKT-point assembly.
+//
+// Given concrete values for the outer variables, an InnerProblem becomes
+// an ordinary LP: solve_inner_at() substitutes the parameters, solves it,
+// and returns the solution together with the decision-variable mapping.
+//
+// assemble_kkt_point() then lifts that direct solution into a *complete*
+// assignment of the KKT system emitted by emit_kkt — primal values,
+// multipliers (from simplex duals and reduced costs), and slacks. This is
+// how the metaopt layer turns each branch-and-bound relaxation point into
+// a genuine incumbent: re-evaluate the candidate input with direct
+// solves, then hand branch-and-bound a fully feasible single-shot
+// assignment.
+#pragma once
+
+#include <vector>
+
+#include "kkt/inner_problem.h"
+#include "kkt/kkt_rewriter.h"
+#include "lp/model.h"
+#include "lp/simplex.h"
+#include "lp/solution.h"
+
+namespace metaopt::kkt {
+
+/// Result of a parametric solve. `decision_values[j]` is the optimal
+/// value of inner.decision_vars()[j]; `duals`/`reduced_costs` follow the
+/// fresh model's constraint order == inner.constraints() order.
+struct ParametricSolve {
+  lp::Solution solution;
+  /// Objective value in the inner problem's own sense.
+  [[nodiscard]] bool ok() const {
+    return solution.status == lp::SolveStatus::Optimal;
+  }
+};
+
+/// Substitutes `outer_values` for all non-decision variables and solves
+/// the resulting LP (duals on). The fresh model's variable j corresponds
+/// to inner.decision_vars()[j]. Throws std::invalid_argument for
+/// quadratic objectives (no parametric-QP support; the TE inner problems
+/// are all linear).
+ParametricSolve solve_inner_at(const InnerProblem& inner,
+                               const lp::Model& outer,
+                               const std::vector<double>& outer_values);
+
+/// Writes a complete feasible point of the emitted KKT system into
+/// `assignment` (which must already hold the outer-parameter values the
+/// inner problem was solved at): decision variables, duals, and slacks.
+/// Returns false when assembly fails — e.g. a multiplier exceeds its
+/// declared dual bound, in which case the caller simply skips this
+/// incumbent (soundness is preserved; only node pruning gets weaker).
+/// Decision variables with finite upper bounds are unsupported (their
+/// bound-row multipliers are not recoverable from the simplex), and
+/// false is returned.
+bool assemble_kkt_point(const lp::Model& outer, const InnerProblem& inner,
+                        const KktArtifacts& art, const ParametricSolve& ps,
+                        std::vector<double>& assignment);
+
+}  // namespace metaopt::kkt

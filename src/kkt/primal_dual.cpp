@@ -1,0 +1,160 @@
+#include "kkt/primal_dual.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "kkt/canon.h"
+
+namespace metaopt::kkt {
+
+using detail::CanonRow;
+using lp::ConstraintSpec;
+using lp::LinExpr;
+using lp::Model;
+using lp::Sense;
+using lp::Var;
+using lp::VarId;
+
+PrimalDualArtifacts emit_primal_dual(Model& outer, const InnerProblem& inner,
+                                     const std::string& prefix) {
+  PrimalDualArtifacts out;
+  const double sign =
+      inner.sense() == lp::ObjSense::Maximize ? -1.0 : 1.0;  // internal min
+
+  std::unordered_map<VarId, int> decision_index;
+  for (std::size_t j = 0; j < inner.decision_vars().size(); ++j) {
+    decision_index.emplace(inner.decision_vars()[j].id, static_cast<int>(j));
+  }
+  for (const auto& [vid, coef] : inner.objective().terms()) {
+    (void)coef;
+    if (!decision_index.count(vid)) {
+      throw std::invalid_argument(
+          "emit_primal_dual: inner objective references a parameter");
+    }
+  }
+  if (!inner.quadratic_objective().empty()) {
+    throw std::invalid_argument(
+        "emit_primal_dual: quadratic inner objectives are unsupported");
+  }
+
+  const std::vector<CanonRow> rows =
+      detail::canonicalize(outer, inner, prefix);
+
+  const int cons_before = outer.num_constraints();
+
+  // Dual feasibility accumulators (== stationarity rows of the KKT
+  // rewrite): internal gradient + sum of multiplier contributions.
+  std::vector<LinExpr> dual_rows(inner.decision_vars().size());
+  for (const auto& [vid, coef] : inner.objective().terms()) {
+    dual_rows[decision_index.at(vid)].add_constant(sign * coef);
+  }
+
+  // Strong duality row: internal_obj == sum_i lambda_i * (-const_i)
+  //                                     + sum_{i,j} (-h_ij) w_ij
+  // where g_i = a_i'x + h_i'theta + const_i and b_i = -(h_i'theta +
+  // const_i). Internal objective terms go on the LHS.
+  LinExpr strong;  // LHS - RHS == 0 form
+  for (const auto& [vid, coef] : inner.objective().terms()) {
+    strong.add_term(vid, sign * coef);
+  }
+
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const CanonRow& row = rows[i];
+    if (!std::isfinite(row.dual_bound)) {
+      throw std::invalid_argument(
+          "emit_primal_dual: row '" + row.name +
+          "' needs a finite dual bound for the McCormick envelope");
+    }
+
+    // Primal feasibility, verbatim.
+    {
+      LinExpr lhs = row.g;
+      const double rhs = -lhs.constant();
+      lhs.add_constant(-lhs.constant());
+      outer.add_constraint(
+          ConstraintSpec{lhs.normalized(),
+                         row.is_eq ? Sense::Equal : Sense::LessEqual, rhs},
+          prefix + "pf(" + row.name + ")");
+    }
+
+    // Multiplier.
+    const double lam_lo = row.is_eq ? -row.dual_bound : 0.0;
+    const double lam_hi = row.dual_bound;
+    const Var lam =
+        outer.add_var(prefix + "pdlam" + std::to_string(i), lam_lo, lam_hi);
+    out.duals.push_back(lam);
+
+    // Contributions to dual feasibility and to strong duality
+    // (c'x - sum_i lambda_i const_i - sum_ij h_ij w_ij == 0).
+    strong.add_term(lam, -row.g.constant());
+    for (const auto& [vid, coef] : row.g.terms()) {
+      auto it = decision_index.find(vid);
+      if (it != decision_index.end()) {
+        dual_rows[it->second].add_term(lam, coef);
+        continue;
+      }
+      // Outer parameter: McCormick product w = lam * theta.
+      const lp::VarInfo& theta = outer.var(vid);
+      if (!std::isfinite(theta.lb) || !std::isfinite(theta.ub)) {
+        throw std::invalid_argument(
+            "emit_primal_dual: parameter " + theta.name +
+            " needs finite bounds for the McCormick envelope");
+      }
+      const double tl = theta.lb, th = theta.ub;
+      const Var w = outer.add_var(
+          prefix + "w" + std::to_string(i) + "_" + std::to_string(vid),
+          -lp::kInf, lp::kInf);
+      out.products.push_back(w);
+      ++out.num_bilinear_terms;
+      const std::string tag =
+          prefix + "mc" + std::to_string(i) + "_" + std::to_string(vid);
+      const LinExpr lam_e(lam), th_e(Var{vid}), w_e(w);
+      // w >= lam_lo*theta + theta_lo*lam - lam_lo*theta_lo
+      outer.add_constraint(w_e >= lam_lo * th_e + tl * lam_e -
+                                      LinExpr(lam_lo * tl),
+                           tag + ".a");
+      // w >= lam_hi*theta + theta_hi*lam - lam_hi*theta_hi
+      outer.add_constraint(w_e >= lam_hi * th_e + th * lam_e -
+                                      LinExpr(lam_hi * th),
+                           tag + ".b");
+      // w <= lam_hi*theta + theta_lo*lam - lam_hi*theta_lo
+      outer.add_constraint(w_e <= lam_hi * th_e + tl * lam_e -
+                                      LinExpr(lam_hi * tl),
+                           tag + ".c");
+      // w <= lam_lo*theta + theta_hi*lam - lam_lo*theta_hi
+      outer.add_constraint(w_e <= lam_lo * th_e + th * lam_e -
+                                      LinExpr(lam_lo * th),
+                           tag + ".d");
+      strong.add_term(w, -coef);  // - h_ij * (lambda_i theta_j)
+    }
+  }
+
+  // Dual feasibility: for inequality-only duals the internal gradient
+  // plus contributions must vanish on every decision variable (bounds
+  // are rows, so variables are effectively free).
+  for (std::size_t j = 0; j < dual_rows.size(); ++j) {
+    LinExpr expr = dual_rows[j];
+    const double rhs = -expr.constant();
+    expr.add_constant(-expr.constant());
+    outer.add_constraint(ConstraintSpec{expr.normalized(), Sense::Equal, rhs},
+                         prefix + "dualfeas(" +
+                             outer.var(inner.decision_vars()[j]).name + ")");
+  }
+
+  // Strong duality: internal_obj + sum_i lambda_i (const_i + h_i'theta)
+  // == 0, i.e. c'x == -lambda'(g - a'x) == lambda' b(theta).
+  {
+    const double rhs = -strong.constant();
+    strong.add_constant(-strong.constant());
+    outer.add_constraint(ConstraintSpec{strong.normalized(), Sense::Equal,
+                                        rhs},
+                         prefix + "strong_duality");
+  }
+
+  out.objective_expr = inner.objective();
+  out.num_constraints_added = outer.num_constraints() - cons_before;
+  return out;
+}
+
+}  // namespace metaopt::kkt

@@ -1,0 +1,59 @@
+// The §5 alternative rewrite: primal/dual relationships instead of KKT.
+//
+// For an inner LP, optimality of x is equivalent to
+//     primal feasibility + dual feasibility + strong duality
+// (c'x == dual objective). Unlike the KKT rewrite this introduces *no*
+// complementarity pairs — but when outer parameters theta sit on the
+// right-hand side, the dual objective contains bilinear terms
+// lambda_i * theta_j.
+//
+// We relax those products with McCormick envelopes over the known boxes
+// [0, dual_bound] x [theta_lb, theta_ub]. The result is a *relaxation*
+// of inner optimality: every truly optimal point remains feasible, but
+// the inner objective expression may overshoot the true optimum (for a
+// maximizing follower). Consequently:
+//
+//   maximize  OPT_expr - Heur_expr   over the relaxed system
+//
+// yields a provable UPPER BOUND on the worst-case gap — a certificate
+// that complements the KKT search's lower bound (found inputs), and it
+// solves as a plain MILP-free LP when no other binaries are present.
+// This is exactly the direction §5 sketches for scaling.
+#pragma once
+
+#include <string>
+
+#include "kkt/inner_problem.h"
+#include "lp/model.h"
+
+namespace metaopt::kkt {
+
+/// What the primal-dual rewrite produced.
+struct PrimalDualArtifacts {
+  /// Expression equal to the inner optimum at exact points and an
+  /// over-estimate (for Maximize inner problems) under the McCormick
+  /// relaxation. Use for bounding, not for verified incumbents.
+  lp::LinExpr objective_expr;
+  std::vector<lp::Var> duals;
+  /// McCormick product variables w = lambda * theta, one per (row,
+  /// parameter) pair with a nonzero coefficient.
+  std::vector<lp::Var> products;
+  int num_bilinear_terms = 0;
+  int num_constraints_added = 0;
+};
+
+/// Emits the primal-dual relaxation of `inner` into `outer`.
+///
+/// Requirements beyond emit_kkt's:
+///  * every inner constraint must carry a finite dual bound (the
+///    McCormick box needs it);
+///  * every outer parameter appearing in a constraint must have finite
+///    bounds in the outer model;
+///  * the inner objective must be linear with constant coefficients
+///    (true for all TE followers).
+/// Throws std::invalid_argument when these fail.
+PrimalDualArtifacts emit_primal_dual(lp::Model& outer,
+                                     const InnerProblem& inner,
+                                     const std::string& prefix);
+
+}  // namespace metaopt::kkt

@@ -1,0 +1,61 @@
+#include "lp/expr.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace metaopt::lp {
+
+void LinExpr::normalize(double drop_tol) {
+  if (terms_.empty()) return;
+  std::sort(terms_.begin(), terms_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::pair<VarId, double>> merged;
+  merged.reserve(terms_.size());
+  for (const auto& [id, coef] : terms_) {
+    if (!merged.empty() && merged.back().first == id) {
+      merged.back().second += coef;
+    } else {
+      merged.emplace_back(id, coef);
+    }
+  }
+  if (drop_tol >= 0.0) {
+    merged.erase(std::remove_if(merged.begin(), merged.end(),
+                                [drop_tol](const auto& t) {
+                                  return std::abs(t.second) <= drop_tol;
+                                }),
+                 merged.end());
+  }
+  terms_ = std::move(merged);
+}
+
+LinExpr& LinExpr::operator+=(const LinExpr& other) {
+  constant_ += other.constant_;
+  terms_.insert(terms_.end(), other.terms_.begin(), other.terms_.end());
+  return *this;
+}
+
+LinExpr& LinExpr::operator-=(const LinExpr& other) {
+  constant_ -= other.constant_;
+  terms_.reserve(terms_.size() + other.terms_.size());
+  for (const auto& [id, coef] : other.terms_) terms_.emplace_back(id, -coef);
+  return *this;
+}
+
+LinExpr& LinExpr::operator*=(double scale) {
+  constant_ *= scale;
+  for (auto& [id, coef] : terms_) coef *= scale;
+  return *this;
+}
+
+ConstraintSpec make_spec(LinExpr lhs, Sense sense, LinExpr rhs) {
+  ConstraintSpec spec;
+  spec.sense = sense;
+  lhs -= rhs;
+  spec.rhs = -lhs.constant();
+  lhs.add_constant(-lhs.constant());
+  lhs.normalize();
+  spec.lhs = std::move(lhs);
+  return spec;
+}
+
+}  // namespace metaopt::lp

@@ -1,0 +1,96 @@
+// Linear expressions over model variables, with natural operator syntax:
+//
+//   LinExpr e = 2.0 * x + y - 3.0;
+//   model.add_constraint(e <= 10.0, "cap");
+//
+// Expressions keep a term list that is merged/normalized on demand.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "lp/types.h"
+
+namespace metaopt::lp {
+
+/// Lightweight variable handle; metadata lives in the owning Model.
+struct Var {
+  VarId id = kInvalidVar;
+
+  [[nodiscard]] bool valid() const { return id >= 0; }
+  friend bool operator==(const Var& a, const Var& b) { return a.id == b.id; }
+};
+
+/// A linear expression: sum of coefficient*variable terms plus a constant.
+class LinExpr {
+ public:
+  LinExpr() = default;
+  /*implicit*/ LinExpr(double constant) : constant_(constant) {}
+  /*implicit*/ LinExpr(Var v) { terms_.emplace_back(v.id, 1.0); }
+
+  /// Adds `coef * v` to the expression.
+  void add_term(Var v, double coef) { terms_.emplace_back(v.id, coef); }
+  void add_term(VarId v, double coef) { terms_.emplace_back(v, coef); }
+
+  /// Adds a constant offset.
+  void add_constant(double c) { constant_ += c; }
+
+  [[nodiscard]] double constant() const { return constant_; }
+
+  /// Raw (possibly unmerged) terms.
+  [[nodiscard]] const std::vector<std::pair<VarId, double>>& terms() const {
+    return terms_;
+  }
+
+  /// Merges duplicate variables and drops zero coefficients, in place.
+  void normalize(double drop_tol = 0.0);
+
+  /// Returns a normalized copy.
+  [[nodiscard]] LinExpr normalized(double drop_tol = 0.0) const {
+    LinExpr copy = *this;
+    copy.normalize(drop_tol);
+    return copy;
+  }
+
+  LinExpr& operator+=(const LinExpr& other);
+  LinExpr& operator-=(const LinExpr& other);
+  LinExpr& operator*=(double scale);
+
+ private:
+  double constant_ = 0.0;
+  std::vector<std::pair<VarId, double>> terms_;
+};
+
+inline LinExpr operator+(LinExpr a, const LinExpr& b) { return a += b; }
+inline LinExpr operator-(LinExpr a, const LinExpr& b) { return a -= b; }
+inline LinExpr operator*(LinExpr a, double s) { return a *= s; }
+inline LinExpr operator*(double s, LinExpr a) { return a *= s; }
+inline LinExpr operator-(LinExpr a) { return a *= -1.0; }
+inline LinExpr operator+(Var a, Var b) { return LinExpr(a) + LinExpr(b); }
+inline LinExpr operator-(Var a, Var b) { return LinExpr(a) - LinExpr(b); }
+inline LinExpr operator*(Var v, double s) { return LinExpr(v) * s; }
+inline LinExpr operator*(double s, Var v) { return LinExpr(v) * s; }
+inline LinExpr operator-(Var v) { return LinExpr(v) * -1.0; }
+
+/// An unattached constraint produced by comparison operators; pass it to
+/// Model::add_constraint. Normal form: expr (sense) 0 with the constant
+/// folded into rhs.
+struct ConstraintSpec {
+  LinExpr lhs;     // variable terms only after normalization
+  Sense sense = Sense::LessEqual;
+  double rhs = 0.0;
+};
+
+ConstraintSpec make_spec(LinExpr lhs, Sense sense, LinExpr rhs);
+
+inline ConstraintSpec operator<=(LinExpr a, LinExpr b) {
+  return make_spec(std::move(a), Sense::LessEqual, std::move(b));
+}
+inline ConstraintSpec operator>=(LinExpr a, LinExpr b) {
+  return make_spec(std::move(a), Sense::GreaterEqual, std::move(b));
+}
+inline ConstraintSpec operator==(LinExpr a, LinExpr b) {
+  return make_spec(std::move(a), Sense::Equal, std::move(b));
+}
+
+}  // namespace metaopt::lp

@@ -1,0 +1,102 @@
+#include "lp/model_io.h"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace metaopt::lp {
+
+namespace {
+
+void write_expr(std::ostream& os, const Model& model, const LinExpr& expr) {
+  bool first = true;
+  for (const auto& [id, coef] : expr.terms()) {
+    if (coef >= 0 && !first) os << " + ";
+    if (coef < 0) os << (first ? "-" : " - ");
+    const double mag = std::abs(coef);
+    if (mag != 1.0) os << util::format_double(mag) << ' ';
+    os << model.var(id).name;
+    first = false;
+  }
+  if (first) os << "0";
+  if (expr.constant() != 0.0) {
+    os << (expr.constant() > 0 ? " + " : " - ")
+       << util::format_double(std::abs(expr.constant()));
+  }
+}
+
+const char* sense_str(Sense s) {
+  switch (s) {
+    case Sense::LessEqual: return "<=";
+    case Sense::GreaterEqual: return ">=";
+    case Sense::Equal: return "=";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void write_lp(std::ostream& os, const Model& model) {
+  os << (model.objective_sense() == ObjSense::Minimize ? "Minimize\n"
+                                                       : "Maximize\n");
+  os << "  obj: ";
+  write_expr(os, model, model.objective());
+  for (const auto& [id, coef] : model.quadratic_objective()) {
+    os << (coef >= 0 ? " + " : " - ") << util::format_double(std::abs(coef))
+       << ' ' << model.var(id).name << "^2";
+  }
+  os << "\nSubject To\n";
+  for (int i = 0; i < model.num_constraints(); ++i) {
+    const ConInfo& con = model.constraint(i);
+    os << "  " << (con.name.empty() ? "c" + std::to_string(i) : con.name)
+       << ": ";
+    write_expr(os, model, con.lhs);
+    os << ' ' << sense_str(con.sense) << ' ' << util::format_double(con.rhs)
+       << '\n';
+  }
+  os << "Bounds\n";
+  for (int v = 0; v < model.num_vars(); ++v) {
+    const VarInfo& info = model.var(v);
+    os << "  ";
+    if (std::isinf(info.lb) && std::isinf(info.ub)) {
+      os << info.name << " free";
+    } else {
+      if (std::isinf(info.lb)) os << "-inf";
+      else os << util::format_double(info.lb);
+      os << " <= " << info.name << " <= ";
+      if (std::isinf(info.ub)) os << "+inf";
+      else os << util::format_double(info.ub);
+    }
+    os << '\n';
+  }
+  bool any_bin = false;
+  for (int v = 0; v < model.num_vars(); ++v) {
+    if (model.var(v).kind == VarKind::Binary) {
+      if (!any_bin) {
+        os << "Binaries\n ";
+        any_bin = true;
+      }
+      os << ' ' << model.var(v).name;
+    }
+  }
+  if (any_bin) os << '\n';
+  if (!model.complementarities().empty()) {
+    os << "Complementarity\n";
+    for (const Complementarity& pair : model.complementarities()) {
+      os << "  " << (pair.name.empty() ? "sos" : pair.name) << ": "
+         << model.var(pair.a).name << " * " << model.var(pair.b).name
+         << " = 0\n";
+    }
+  }
+  os << "End\n";
+}
+
+std::string to_lp_string(const Model& model) {
+  std::ostringstream os;
+  write_lp(os, model);
+  return os.str();
+}
+
+}  // namespace metaopt::lp

@@ -1,0 +1,18 @@
+// Debug serialization of models in a CPLEX-LP-like text format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "lp/model.h"
+
+namespace metaopt::lp {
+
+/// Writes `model` in an LP-like text format (objective, constraints,
+/// bounds, binaries, complementarity pairs) for eyeballing and diffing.
+void write_lp(std::ostream& os, const Model& model);
+
+/// Convenience: returns the same text as a string.
+std::string to_lp_string(const Model& model);
+
+}  // namespace metaopt::lp

@@ -1,0 +1,179 @@
+#include "lp/presolve.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace metaopt::lp {
+
+namespace {
+
+/// Activity contribution range of one term under the current bounds.
+inline void term_range(double coef, double lb, double ub, double* lo,
+                       double* hi) {
+  if (coef >= 0.0) {
+    *lo = coef * lb;
+    *hi = coef * ub;
+  } else {
+    *lo = coef * ub;
+    *hi = coef * lb;
+  }
+}
+
+}  // namespace
+
+PresolveResult presolve(const Model& model, const PresolveOptions& options,
+                        const std::vector<double>* lb0,
+                        const std::vector<double>* ub0) {
+  const int n = model.num_vars();
+  PresolveResult result;
+  result.lb.resize(n);
+  result.ub.resize(n);
+  for (VarId v = 0; v < n; ++v) {
+    result.lb[v] = lb0 ? (*lb0)[v] : model.var(v).lb;
+    result.ub[v] = ub0 ? (*ub0)[v] : model.var(v).ub;
+    if (result.lb[v] > result.ub[v] + options.tol) {
+      result.infeasible = true;
+      return result;
+    }
+  }
+  result.redundant_rows.assign(model.num_constraints(), false);
+
+  std::vector<double> term_lo, term_hi;
+  bool changed = true;
+  while (changed && result.rounds < options.max_rounds) {
+    changed = false;
+    ++result.rounds;
+    for (ConId ci = 0; ci < model.num_constraints(); ++ci) {
+      if (result.redundant_rows[ci]) continue;
+      const ConInfo& con = model.constraint(ci);
+      const auto& terms = con.lhs.terms();
+      if (terms.empty()) {
+        const bool ok = con.sense == Sense::LessEqual
+                            ? 0.0 <= con.rhs + options.tol
+                            : con.sense == Sense::GreaterEqual
+                                  ? 0.0 >= con.rhs - options.tol
+                                  : std::abs(con.rhs) <= options.tol;
+        if (!ok) {
+          result.infeasible = true;
+          return result;
+        }
+        result.redundant_rows[ci] = true;
+        continue;
+      }
+
+      // Per-term activity ranges plus finite sums / infinity counters.
+      term_lo.resize(terms.size());
+      term_hi.resize(terms.size());
+      double act_lo = 0.0, act_hi = 0.0;
+      int lo_inf = 0, hi_inf = 0;
+      for (std::size_t t = 0; t < terms.size(); ++t) {
+        term_range(terms[t].second, result.lb[terms[t].first],
+                   result.ub[terms[t].first], &term_lo[t], &term_hi[t]);
+        if (std::isinf(term_lo[t])) ++lo_inf; else act_lo += term_lo[t];
+        if (std::isinf(term_hi[t])) ++hi_inf; else act_hi += term_hi[t];
+      }
+
+      const bool needs_le =
+          con.sense == Sense::LessEqual || con.sense == Sense::Equal;
+      const bool needs_ge =
+          con.sense == Sense::GreaterEqual || con.sense == Sense::Equal;
+      if (needs_le && lo_inf == 0 && act_lo > con.rhs + options.tol) {
+        result.infeasible = true;
+        return result;
+      }
+      if (needs_ge && hi_inf == 0 && act_hi < con.rhs - options.tol) {
+        result.infeasible = true;
+        return result;
+      }
+      if (con.sense == Sense::LessEqual && hi_inf == 0 &&
+          act_hi <= con.rhs + options.tol) {
+        result.redundant_rows[ci] = true;
+        continue;
+      }
+      if (con.sense == Sense::GreaterEqual && lo_inf == 0 &&
+          act_lo >= con.rhs - options.tol) {
+        result.redundant_rows[ci] = true;
+        continue;
+      }
+
+      // Bound tightening via residual activities.
+      for (std::size_t t = 0; t < terms.size(); ++t) {
+        const VarId v = terms[t].first;
+        const double coef = terms[t].second;
+
+        if (needs_le) {
+          // Residual min activity of the other terms must be finite.
+          const int rest_inf = lo_inf - (std::isinf(term_lo[t]) ? 1 : 0);
+          if (rest_inf == 0) {
+            const double rest_lo =
+                act_lo - (std::isinf(term_lo[t]) ? 0.0 : term_lo[t]);
+            const double slack = con.rhs - rest_lo;
+            if (coef > 0.0) {
+              const double new_ub = slack / coef;
+              if (new_ub < result.ub[v] - 1e-7) {
+                result.ub[v] = new_ub;
+                ++result.tightenings;
+                changed = true;
+              }
+            } else {
+              const double new_lb = slack / coef;
+              if (new_lb > result.lb[v] + 1e-7) {
+                result.lb[v] = new_lb;
+                ++result.tightenings;
+                changed = true;
+              }
+            }
+          }
+        }
+        if (needs_ge) {
+          const int rest_inf = hi_inf - (std::isinf(term_hi[t]) ? 1 : 0);
+          if (rest_inf == 0) {
+            const double rest_hi =
+                act_hi - (std::isinf(term_hi[t]) ? 0.0 : term_hi[t]);
+            const double need = con.rhs - rest_hi;
+            if (coef > 0.0) {
+              const double new_lb = need / coef;
+              if (new_lb > result.lb[v] + 1e-7) {
+                result.lb[v] = new_lb;
+                ++result.tightenings;
+                changed = true;
+              }
+            } else {
+              const double new_ub = need / coef;
+              if (new_ub < result.ub[v] - 1e-7) {
+                result.ub[v] = new_ub;
+                ++result.tightenings;
+                changed = true;
+              }
+            }
+          }
+        }
+        if (result.lb[v] > result.ub[v] + options.tol) {
+          result.infeasible = true;
+          return result;
+        }
+      }
+    }
+
+    if (options.round_binaries) {
+      for (VarId v = 0; v < n; ++v) {
+        if (model.var(v).kind != VarKind::Binary) continue;
+        if (result.lb[v] > options.tol && result.lb[v] < 1.0) {
+          result.lb[v] = 1.0;
+          changed = true;
+        }
+        if (result.ub[v] < 1.0 - options.tol && result.ub[v] > 0.0) {
+          result.ub[v] = 0.0;
+          changed = true;
+        }
+        if (result.lb[v] > result.ub[v] + options.tol) {
+          result.infeasible = true;
+          return result;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace metaopt::lp

@@ -1,0 +1,50 @@
+// Two-phase dense-tableau primal simplex over the StandardForm program.
+//
+// Handles LessEqual and Equal rows, negative right-hand sides (via row
+// scaling + artificials), degenerate cycling (Dantzig pricing with a
+// permanent switch to Bland's rule after a stall), infeasibility and
+// unboundedness detection, and optimal dual / reduced-cost extraction.
+//
+// This is the workhorse the MIP layer calls at every branch-and-bound
+// node, and — through the KKT rewrite — the engine behind the paper's
+// single-shot metaoptimization.
+#pragma once
+
+#include "lp/model.h"
+#include "lp/solution.h"
+#include "lp/standard_form.h"
+
+namespace metaopt::lp {
+
+struct SimplexOptions {
+  long max_iterations = 200000;
+  double time_limit_seconds = 1e30;
+  double pivot_tol = 1e-9;   ///< minimum magnitude for a pivot element
+  double feas_tol = 1e-7;    ///< phase-1 residual treated as feasible
+  double cost_tol = 1e-9;    ///< reduced-cost optimality tolerance
+  long stall_limit = 2000;   ///< degenerate pivots before Bland's rule
+  bool want_duals = true;
+};
+
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(SimplexOptions options = {}) : options_(options) {}
+
+  /// Solves the continuous linear relaxation of `model` (binaries are
+  /// relaxed to their boxes; complementarity pairs are ignored).
+  [[nodiscard]] Solution solve(const Model& model) const;
+
+  /// Same, with per-variable bound overrides (size model.num_vars()).
+  [[nodiscard]] Solution solve_with_bounds(const Model& model,
+                                           const std::vector<double>& lb,
+                                           const std::vector<double>& ub) const;
+
+  [[nodiscard]] const SimplexOptions& options() const { return options_; }
+
+ private:
+  Solution solve_standard(const StandardForm& sf, const Model& model) const;
+
+  SimplexOptions options_;
+};
+
+}  // namespace metaopt::lp

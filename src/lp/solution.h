@@ -1,0 +1,45 @@
+// Solve results returned by the simplex and branch-and-bound solvers.
+#pragma once
+
+#include <vector>
+
+#include "lp/types.h"
+
+namespace metaopt::lp {
+
+/// Result of an LP or MIP solve. `values` is indexed by VarId of the
+/// solved Model. For LP solves, `duals` (indexed by ConId) and
+/// `reduced_costs` (indexed by VarId) are populated when the solve is
+/// Optimal; sign convention: for a minimization problem, duals of
+/// LessEqual rows are <= 0 ... we use the convention that the Lagrangian
+/// is  c'x + sum_i y_i (a_i'x - b_i), so y_i >= 0 for GreaterEqual rows,
+/// y_i <= 0 for LessEqual rows under Minimize, and strong duality reads
+/// obj = sum_i y_i b_i + contributions of active variable bounds.
+struct Solution {
+  SolveStatus status = SolveStatus::Error;
+  double objective = 0.0;
+  std::vector<double> values;
+  std::vector<double> duals;
+  std::vector<double> reduced_costs;
+
+  /// Iterations used (LP) or nodes explored (MIP).
+  long iterations = 0;
+
+  /// Best proven bound on the objective (MIP); equals objective for
+  /// proven-optimal solves.
+  double best_bound = 0.0;
+
+  /// Wall-clock seconds spent inside the solver.
+  double solve_seconds = 0.0;
+
+  [[nodiscard]] bool is_optimal() const {
+    return status == SolveStatus::Optimal;
+  }
+  [[nodiscard]] bool has_solution() const {
+    return status == SolveStatus::Optimal || status == SolveStatus::Feasible ||
+           status == SolveStatus::IterationLimit ||
+           status == SolveStatus::TimeLimit;
+  }
+};
+
+}  // namespace metaopt::lp

@@ -1,0 +1,136 @@
+#include "lp/standard_form.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace metaopt::lp {
+
+namespace {
+constexpr double kFixTol = 1e-12;
+}
+
+StandardForm StandardForm::build(const Model& model, const double* lbs,
+                                 const double* ubs) {
+  if (model.has_quadratic_objective()) {
+    throw std::invalid_argument(
+        "StandardForm: quadratic objectives are only supported by the KKT "
+        "rewriter, not the solvers");
+  }
+  const int n = model.num_vars();
+  StandardForm sf;
+  sf.var_map.resize(n);
+  sf.obj_scale = model.objective_sense() == ObjSense::Maximize ? -1.0 : 1.0;
+
+  // Decide per-variable column mapping.
+  for (VarId v = 0; v < n; ++v) {
+    const double lb = lbs ? lbs[v] : model.var(v).lb;
+    const double ub = ubs ? ubs[v] : model.var(v).ub;
+    if (lb > ub + kFixTol) {
+      throw std::invalid_argument("StandardForm: lb > ub for " +
+                                  model.var(v).name);
+    }
+    StdVarMap& m = sf.var_map[v];
+    if (std::isfinite(lb) && std::isfinite(ub) && ub - lb <= kFixTol) {
+      m.kind = StdVarMap::Kind::Fixed;
+      m.fixed_value = lb;
+    } else if (std::isfinite(lb)) {
+      m.kind = StdVarMap::Kind::Shifted;
+      m.col = sf.num_cols++;
+      m.offset = lb;
+      if (std::isfinite(ub)) {
+        StdRow row;
+        row.terms.emplace_back(m.col, 1.0);
+        row.rhs = ub - lb;
+        sf.rows.push_back(std::move(row));
+      }
+    } else if (std::isfinite(ub)) {
+      m.kind = StdVarMap::Kind::Negated;
+      m.col = sf.num_cols++;
+      m.offset = ub;  // x = ub - y
+    } else {
+      m.kind = StdVarMap::Kind::Split;
+      m.col = sf.num_cols++;
+      m.col_neg = sf.num_cols++;
+    }
+  }
+
+  // Objective.
+  sf.cost.assign(sf.num_cols, 0.0);
+  sf.cost_offset = sf.obj_scale * model.objective().constant();
+  for (const auto& [v, coef0] : model.objective().terms()) {
+    const double coef = sf.obj_scale * coef0;
+    const StdVarMap& m = sf.var_map[v];
+    switch (m.kind) {
+      case StdVarMap::Kind::Fixed:
+        sf.cost_offset += coef * m.fixed_value;
+        break;
+      case StdVarMap::Kind::Shifted:
+        sf.cost[m.col] += coef;
+        sf.cost_offset += coef * m.offset;
+        break;
+      case StdVarMap::Kind::Negated:
+        sf.cost[m.col] -= coef;
+        sf.cost_offset += coef * m.offset;
+        break;
+      case StdVarMap::Kind::Split:
+        sf.cost[m.col] += coef;
+        sf.cost[m.col_neg] -= coef;
+        break;
+    }
+  }
+
+  // Constraints. GreaterEqual rows are negated into LessEqual.
+  for (ConId ci = 0; ci < model.num_constraints(); ++ci) {
+    const ConInfo& con = model.constraint(ci);
+    const double sign = con.sense == Sense::GreaterEqual ? -1.0 : 1.0;
+    StdRow row;
+    row.source_con = ci;
+    row.is_eq = con.sense == Sense::Equal;
+    row.rhs = sign * con.rhs;
+    for (const auto& [v, coef0] : con.lhs.terms()) {
+      const double coef = sign * coef0;
+      const StdVarMap& m = sf.var_map[v];
+      switch (m.kind) {
+        case StdVarMap::Kind::Fixed:
+          row.rhs -= coef * m.fixed_value;
+          break;
+        case StdVarMap::Kind::Shifted:
+          row.terms.emplace_back(m.col, coef);
+          row.rhs -= coef * m.offset;
+          break;
+        case StdVarMap::Kind::Negated:
+          row.terms.emplace_back(m.col, -coef);
+          row.rhs -= coef * m.offset;
+          break;
+        case StdVarMap::Kind::Split:
+          row.terms.emplace_back(m.col, coef);
+          row.terms.emplace_back(m.col_neg, -coef);
+          break;
+      }
+    }
+    sf.rows.push_back(std::move(row));
+  }
+  return sf;
+}
+
+void StandardForm::extract(const std::vector<double>& y,
+                           std::vector<double>& x) const {
+  x.assign(var_map.size(), 0.0);
+  for (std::size_t v = 0; v < var_map.size(); ++v) {
+    const StdVarMap& m = var_map[v];
+    switch (m.kind) {
+      case StdVarMap::Kind::Fixed: x[v] = m.fixed_value; break;
+      case StdVarMap::Kind::Shifted: x[v] = y[m.col] + m.offset; break;
+      case StdVarMap::Kind::Negated: x[v] = m.offset - y[m.col]; break;
+      case StdVarMap::Kind::Split: x[v] = y[m.col] - y[m.col_neg]; break;
+    }
+  }
+}
+
+double StandardForm::model_objective(const std::vector<double>& y) const {
+  double internal = cost_offset;
+  for (int j = 0; j < num_cols; ++j) internal += cost[j] * y[j];
+  return obj_scale * internal;  // obj_scale is +-1, its own inverse
+}
+
+}  // namespace metaopt::lp

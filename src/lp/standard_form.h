@@ -1,0 +1,63 @@
+// Conversion of a Model's continuous linear relaxation into simplex
+// computational form:
+//
+//   min  cost' y + cost_offset     s.t.  rows (<= or ==),  y >= 0
+//
+// Variable bounds are eliminated: finite lower bounds shift the variable,
+// upper-bounded-only variables are negated, free variables are split into
+// a positive and a negative part, and fixed variables (lb == ub, which is
+// how branch-and-bound pins complementarity sides) are substituted out
+// entirely so child LPs shrink.
+#pragma once
+
+#include <vector>
+
+#include "lp/model.h"
+
+namespace metaopt::lp {
+
+/// One row of the standard form: terms' y (<= | ==) rhs.
+struct StdRow {
+  std::vector<std::pair<int, double>> terms;
+  double rhs = 0.0;
+  bool is_eq = false;
+  /// Originating model constraint, or kInvalidCon for variable-bound rows.
+  ConId source_con = kInvalidCon;
+};
+
+/// How one model variable maps into standard-form columns.
+struct StdVarMap {
+  enum class Kind { Fixed, Shifted, Negated, Split };
+  Kind kind = Kind::Shifted;
+  int col = -1;      ///< primary column (unused for Fixed)
+  int col_neg = -1;  ///< negative part column (Split only)
+  double offset = 0.0;     ///< x = y + offset (Shifted), x = offset - y (Negated)
+  double fixed_value = 0.0;
+};
+
+/// The standard-form program plus the bookkeeping needed to map a
+/// standard-form solution back to model variable space.
+struct StandardForm {
+  int num_cols = 0;
+  std::vector<StdRow> rows;
+  std::vector<double> cost;    // size num_cols
+  double cost_offset = 0.0;
+  double obj_scale = 1.0;      // -1 when the model maximizes
+  std::vector<StdVarMap> var_map;  // size model.num_vars()
+
+  /// Builds the standard form. `lbs`/`ubs` override the model's variable
+  /// bounds when non-null (both must then have size model.num_vars()).
+  /// Throws std::invalid_argument if the model has a quadratic objective
+  /// or if some override has lb > ub.
+  static StandardForm build(const Model& model, const double* lbs = nullptr,
+                            const double* ubs = nullptr);
+
+  /// Maps a standard-form point y back to model variable values x
+  /// (resized to model var count).
+  void extract(const std::vector<double>& y, std::vector<double>& x) const;
+
+  /// Model-space objective value at standard-form point y.
+  [[nodiscard]] double model_objective(const std::vector<double>& y) const;
+};
+
+}  // namespace metaopt::lp

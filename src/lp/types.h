@@ -1,0 +1,45 @@
+// Basic identifiers and enums for the LP/MIP modeling layer.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace metaopt::lp {
+
+/// Index of a variable within its Model.
+using VarId = std::int32_t;
+
+/// Index of a constraint within its Model.
+using ConId = std::int32_t;
+
+inline constexpr VarId kInvalidVar = -1;
+inline constexpr ConId kInvalidCon = -1;
+
+/// Infinity used for unbounded variable bounds.
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Variable domain kind. Binary variables are only honored by the MIP
+/// layer; the pure LP solver relaxes them to their [lb, ub] box.
+enum class VarKind { Continuous, Binary };
+
+/// Constraint sense: expr (sense) rhs.
+enum class Sense { LessEqual, GreaterEqual, Equal };
+
+/// Objective direction.
+enum class ObjSense { Minimize, Maximize };
+
+/// Outcome of a solve.
+enum class SolveStatus {
+  Optimal,        ///< proven optimal (within tolerances)
+  Infeasible,     ///< no feasible point exists
+  Unbounded,      ///< objective unbounded in the optimization direction
+  IterationLimit, ///< stopped at the iteration cap; best effort returned
+  TimeLimit,      ///< stopped at the time limit; best effort returned
+  Feasible,       ///< feasible incumbent found but optimality not proven
+  Error,          ///< internal failure (should not happen)
+};
+
+/// Human-readable status name.
+const char* to_string(SolveStatus status);
+
+}  // namespace metaopt::lp

@@ -1,0 +1,375 @@
+#include "mip/branch_and_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <queue>
+
+#include "lp/presolve.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace metaopt::mip {
+
+namespace {
+
+using lp::Model;
+using lp::Solution;
+using lp::SolveStatus;
+using lp::VarId;
+
+/// One bound tightening relative to the parent node.
+struct BoundChange {
+  VarId var;
+  double lb;
+  double ub;
+};
+
+/// Search-tree node; bounds are stored as a diff chain to the root.
+struct Node {
+  std::shared_ptr<const Node> parent;
+  std::vector<BoundChange> changes;
+  double bound = 0.0;  ///< parent relaxation objective (valid for children)
+  int depth = 0;
+
+  /// Deep plunges create chains thousands of nodes long; default
+  /// shared_ptr teardown would recurse once per ancestor and blow the
+  /// stack. Unlink iteratively instead.
+  ~Node() {
+    std::shared_ptr<const Node> p = std::move(parent);
+    while (p && p.use_count() == 1) {
+      std::shared_ptr<const Node> next =
+          std::move(const_cast<Node&>(*p).parent);
+      p = std::move(next);
+    }
+  }
+};
+
+using NodePtr = std::shared_ptr<const Node>;
+
+/// Materializes the node's variable bounds on top of the model's.
+void materialize_bounds(const Model& model, const Node* node,
+                        std::vector<double>& lb, std::vector<double>& ub) {
+  lb.resize(model.num_vars());
+  ub.resize(model.num_vars());
+  for (VarId v = 0; v < model.num_vars(); ++v) {
+    lb[v] = model.var(v).lb;
+    ub[v] = model.var(v).ub;
+  }
+  // Walk root -> node so deeper (tighter) changes win; collect the chain
+  // first because we only hold parent pointers.
+  std::vector<const Node*> chain;
+  for (const Node* n = node; n != nullptr; n = n->parent.get()) {
+    chain.push_back(n);
+  }
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    for (const BoundChange& ch : (*it)->changes) {
+      lb[ch.var] = std::max(lb[ch.var], ch.lb);
+      ub[ch.var] = std::min(ub[ch.var], ch.ub);
+    }
+  }
+}
+
+}  // namespace
+
+Solution BranchAndBound::solve(const Model& model,
+                               const MipCallbacks& callbacks) const {
+  util::Stopwatch watch;
+  model.validate();
+
+  const bool maximize = model.objective_sense() == lp::ObjSense::Maximize;
+  const double dir = maximize ? 1.0 : -1.0;  // larger dir*obj is better
+
+  lp::SimplexOptions lp_opts = options_.lp;
+  lp_opts.want_duals = false;
+
+  Solution best;
+  best.status = SolveStatus::Error;
+  bool have_incumbent = false;
+  double incumbent_obj = 0.0;
+  std::vector<double> incumbent_values;
+
+  double last_progress_time = 0.0;
+  double last_progress_obj = 0.0;
+
+  auto accept_incumbent = [&](double obj, const std::vector<double>& values) {
+    if (have_incumbent && dir * obj <= dir * incumbent_obj + options_.abs_gap) {
+      return;
+    }
+    const double improvement =
+        have_incumbent
+            ? std::abs(obj - incumbent_obj) /
+                  std::max(1.0, std::abs(incumbent_obj))
+            : 1.0;
+    incumbent_obj = obj;
+    incumbent_values = values;
+    have_incumbent = true;
+    if (improvement >= options_.progress_min_improvement) {
+      last_progress_time = watch.seconds();
+      last_progress_obj = obj;
+    }
+    if (callbacks.on_incumbent) {
+      callbacks.on_incumbent(obj, watch.seconds(), values);
+    }
+  };
+
+  for (const auto& [obj, values] : callbacks.initial_incumbents) {
+    bool ok = values.size() == static_cast<std::size_t>(model.num_vars());
+    if (ok && callbacks.verify_heuristic) {
+      ok = model.max_violation(values) <= 1e-4;
+    }
+    if (ok) {
+      accept_incumbent(obj, values);
+    } else {
+      MO_LOG(Warn) << "B&B: rejected infeasible initial incumbent";
+    }
+  }
+
+  // Best-bound priority queue (max-heap on dir*bound).
+  struct QueueEntry {
+    double score;
+    long seq;  // FIFO tie-break for determinism
+    NodePtr node;
+  };
+  // Best-bound first; LIFO on ties so equal-bound regions (notably pure
+  // feasibility problems, where every bound is zero) are explored
+  // depth-first and a complementarity-feasible point is reached by
+  // plunging instead of a breadth-first crawl.
+  auto cmp = [](const QueueEntry& a, const QueueEntry& b) {
+    if (a.score != b.score) return a.score < b.score;
+    return a.seq < b.seq;
+  };
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, decltype(cmp)>
+      queue(cmp);
+  long seq = 0;
+
+  const double root_score = maximize ? lp::kInf : -lp::kInf;
+  queue.push(QueueEntry{dir * root_score, seq++, nullptr});
+
+  long nodes = 0;
+  std::vector<double> lbs, ubs;
+  bool stopped_early = false;
+  SolveStatus stop_reason = SolveStatus::Optimal;
+  double best_open_bound = root_score;
+
+  while (!queue.empty()) {
+    if (watch.seconds() > options_.time_limit_seconds) {
+      stopped_early = true;
+      stop_reason = SolveStatus::TimeLimit;
+      break;
+    }
+    if (nodes >= options_.max_nodes) {
+      stopped_early = true;
+      stop_reason = SolveStatus::IterationLimit;
+      break;
+    }
+    if (have_incumbent && options_.target_objective &&
+        dir * incumbent_obj >= dir * *options_.target_objective) {
+      stopped_early = true;
+      stop_reason = SolveStatus::Feasible;
+      break;
+    }
+    if (have_incumbent &&
+        watch.seconds() - last_progress_time >
+            options_.progress_window_seconds) {
+      MO_LOG(Info) << "B&B: progress-window stop at obj=" << incumbent_obj;
+      stopped_early = true;
+      stop_reason = SolveStatus::Feasible;
+      break;
+    }
+
+    QueueEntry entry = queue.top();
+    queue.pop();
+    best_open_bound = dir > 0 ? entry.score : -entry.score;
+
+    // Bound-based prune (entry.score is dir * parent bound).
+    if (have_incumbent &&
+        entry.score <= dir * incumbent_obj + options_.abs_gap) {
+      continue;
+    }
+    if (have_incumbent &&
+        entry.score - dir * incumbent_obj <=
+            options_.rel_gap * std::max(1.0, std::abs(incumbent_obj))) {
+      continue;
+    }
+
+    ++nodes;
+    materialize_bounds(model, entry.node.get(), lbs, ubs);
+
+    // Skip nodes whose bound fixings became contradictory.
+    bool box_empty = false;
+    for (VarId v = 0; v < model.num_vars() && !box_empty; ++v) {
+      if (lbs[v] > ubs[v] + 1e-12) box_empty = true;
+    }
+    if (box_empty) continue;
+
+    if (options_.use_presolve) {
+      lp::PresolveOptions popts;
+      popts.max_rounds = 3;
+      const lp::PresolveResult pre = lp::presolve(model, popts, &lbs, &ubs);
+      if (pre.infeasible) continue;
+      lbs = pre.lb;
+      ubs = pre.ub;
+    }
+
+    // Cap each node LP at the remaining budget so one long relaxation
+    // cannot blow through the overall time limit.
+    lp_opts.time_limit_seconds =
+        std::max(0.05, options_.time_limit_seconds - watch.seconds());
+    const lp::SimplexSolver lp_solver(lp_opts);
+    Solution relax = lp_solver.solve_with_bounds(model, lbs, ubs);
+    if (relax.status == SolveStatus::TimeLimit) {
+      stopped_early = true;
+      stop_reason = SolveStatus::TimeLimit;
+      break;
+    }
+    if (relax.status == SolveStatus::Infeasible) continue;
+    if (relax.status == SolveStatus::Unbounded) {
+      // KKT systems routinely have unbounded *relaxations* while the
+      // complementarity-constrained problem is bounded (duals are free
+      // until a pair is fixed). Branch on the first unresolved discrete
+      // entity; only a fully fixed yet unbounded node proves the original
+      // problem unbounded.
+      bool branched = false;
+      for (VarId v = 0; v < model.num_vars() && !branched; ++v) {
+        if (model.var(v).kind == lp::VarKind::Binary &&
+            ubs[v] - lbs[v] > options_.int_tol) {
+          auto push = [&](double fix) {
+            auto child = std::make_shared<Node>();
+            child->parent = entry.node;
+            child->changes = {BoundChange{v, fix, fix}};
+            child->bound = dir > 0 ? lp::kInf : -lp::kInf;
+            child->depth = entry.node ? entry.node->depth + 1 : 1;
+            queue.push(QueueEntry{lp::kInf, seq++, std::move(child)});
+          };
+          push(0.0);
+          push(1.0);
+          branched = true;
+        }
+      }
+      for (const auto& pair : model.complementarities()) {
+        if (branched) break;
+        if (ubs[pair.a] > options_.compl_tol &&
+            ubs[pair.b] > options_.compl_tol) {
+          for (VarId side : {pair.a, pair.b}) {
+            if (lbs[side] > options_.compl_tol) continue;
+            auto child = std::make_shared<Node>();
+            child->parent = entry.node;
+            child->changes = {BoundChange{side, lbs[side], 0.0}};
+            child->bound = dir > 0 ? lp::kInf : -lp::kInf;
+            child->depth = entry.node ? entry.node->depth + 1 : 1;
+            queue.push(QueueEntry{lp::kInf, seq++, std::move(child)});
+          }
+          branched = true;
+        }
+      }
+      if (branched) continue;
+      best.status = SolveStatus::Unbounded;
+      best.iterations = nodes;
+      best.solve_seconds = watch.seconds();
+      return best;
+    }
+    if (!relax.has_solution()) {
+      MO_LOG(Warn) << "B&B: node relaxation failed ("
+                   << lp::to_string(relax.status) << "); pruning";
+      continue;
+    }
+    const double node_bound = relax.objective;
+    if (have_incumbent &&
+        dir * node_bound <= dir * incumbent_obj + options_.abs_gap) {
+      continue;
+    }
+
+    // Find violated discrete structure.
+    VarId frac_bin = lp::kInvalidVar;
+    double worst_frac = options_.int_tol;
+    for (VarId v = 0; v < model.num_vars(); ++v) {
+      if (model.var(v).kind != lp::VarKind::Binary) continue;
+      const double x = relax.values[v];
+      const double frac = std::min(x - std::floor(x), std::ceil(x) - x);
+      if (frac > worst_frac) {
+        worst_frac = frac;
+        frac_bin = v;
+      }
+    }
+    int worst_pair = -1;
+    double worst_product = options_.compl_tol;
+    const auto& pairs = model.complementarities();
+    for (std::size_t p = 0; p < pairs.size(); ++p) {
+      const double prod = std::min(std::abs(relax.values[pairs[p].a]),
+                                   std::abs(relax.values[pairs[p].b]));
+      if (prod > worst_product) {
+        worst_product = prod;
+        worst_pair = static_cast<int>(p);
+      }
+    }
+
+    if (frac_bin == lp::kInvalidVar && worst_pair < 0) {
+      // Relaxation point satisfies all discrete structure: incumbent.
+      accept_incumbent(node_bound, relax.values);
+      continue;
+    }
+
+    // Primal heuristic on the (possibly fractional) relaxation point.
+    if (callbacks.primal_heuristic) {
+      if (auto cand = callbacks.primal_heuristic(relax.values)) {
+        bool ok = true;
+        if (callbacks.verify_heuristic) {
+          // Tolerance sized for assembled KKT points, whose duals/slacks
+          // carry simplex-tolerance noise through stationarity sums.
+          ok = cand->second.size() ==
+                   static_cast<std::size_t>(model.num_vars()) &&
+               model.max_violation(cand->second) <= 1e-4;
+        }
+        if (ok) accept_incumbent(cand->first, cand->second);
+      }
+    }
+
+    // Branch. Binaries take priority (they gate big-M structure).
+    auto push_child = [&](std::vector<BoundChange> changes) {
+      auto child = std::make_shared<Node>();
+      child->parent = entry.node;
+      child->changes = std::move(changes);
+      child->bound = node_bound;
+      child->depth = entry.node ? entry.node->depth + 1 : 1;
+      queue.push(QueueEntry{dir * node_bound, seq++, std::move(child)});
+    };
+
+    if (frac_bin != lp::kInvalidVar) {
+      push_child({BoundChange{frac_bin, 0.0, 0.0}});
+      push_child({BoundChange{frac_bin, 1.0, 1.0}});
+    } else {
+      const auto& pair = pairs[worst_pair];
+      if (lbs[pair.a] <= options_.compl_tol) {
+        push_child({BoundChange{pair.a, lbs[pair.a], 0.0}});
+      }
+      if (lbs[pair.b] <= options_.compl_tol) {
+        push_child({BoundChange{pair.b, lbs[pair.b], 0.0}});
+      }
+    }
+  }
+
+  best.iterations = nodes;
+  best.solve_seconds = watch.seconds();
+  if (have_incumbent) {
+    best.objective = incumbent_obj;
+    best.values = std::move(incumbent_values);
+    if (stopped_early) {
+      best.status = stop_reason == SolveStatus::TimeLimit
+                        ? SolveStatus::TimeLimit
+                        : SolveStatus::Feasible;
+      best.best_bound = queue.empty() ? incumbent_obj : best_open_bound;
+    } else {
+      best.status = SolveStatus::Optimal;
+      best.best_bound = incumbent_obj;
+    }
+  } else if (stopped_early) {
+    best.status = SolveStatus::TimeLimit;
+    best.best_bound = best_open_bound;
+  } else {
+    best.status = SolveStatus::Infeasible;
+  }
+  return best;
+}
+
+}  // namespace metaopt::mip

@@ -1,0 +1,129 @@
+#include "net/topologies.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace metaopt::net::topologies {
+
+namespace {
+
+Topology from_links(int n, const char* name,
+                    const std::vector<std::pair<int, int>>& links,
+                    double capacity) {
+  Topology topo(n, name);
+  for (const auto& [a, b] : links) topo.add_link(a, b, capacity);
+  return topo;
+}
+
+}  // namespace
+
+Topology fig1() {
+  Topology topo(3, "fig1");
+  topo.add_edge(0, 1, 100.0, 1.0);  // 1 -> 2
+  topo.add_edge(1, 2, 110.0, 1.0);  // 2 -> 3
+  topo.add_edge(0, 2, 50.0, 5.0);   // 1 -> 3 direct, long
+  return topo;
+}
+
+Topology b4(double capacity) {
+  // 12 sites / 19 links, reconstructed from the published B4 map
+  // (Jain et al., SIGCOMM'13, Fig. 1).
+  const std::vector<std::pair<int, int>> links = {
+      {0, 1}, {0, 2},  {0, 3},  {1, 2},  {2, 3},  {3, 4},  {3, 5},
+      {4, 5}, {4, 6},  {5, 6},  {5, 7},  {6, 7},  {6, 8},  {7, 8},
+      {8, 9}, {8, 10}, {9, 10}, {9, 11}, {10, 11}};
+  return from_links(12, "b4", links, capacity);
+}
+
+Topology abilene(double capacity) {
+  // 0 Seattle, 1 Sunnyvale, 2 Denver, 3 LosAngeles, 4 Houston,
+  // 5 KansasCity, 6 Indianapolis, 7 Atlanta, 8 Chicago, 9 NewYork,
+  // 10 WashingtonDC.
+  const std::vector<std::pair<int, int>> links = {
+      {0, 1}, {0, 2}, {1, 2}, {1, 3}, {3, 4},  {2, 5}, {4, 5},
+      {4, 7}, {5, 6}, {6, 8}, {6, 7}, {8, 9},  {9, 10}, {10, 7}};
+  return from_links(11, "abilene", links, capacity);
+}
+
+Topology swan(double capacity) {
+  // SWAN-scale stand-in: two meshy regions bridged by three long links.
+  const std::vector<std::pair<int, int>> links = {
+      // region A ring + chord
+      {0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {1, 3},
+      // region B ring + chord
+      {5, 6}, {6, 7}, {7, 8}, {8, 9}, {9, 5}, {6, 8},
+      // inter-region bridges
+      {4, 5}, {9, 0}, {2, 7}, {1, 6}};
+  return from_links(10, "swan", links, capacity);
+}
+
+Topology circulant(int n, int neighbors, double capacity) {
+  if (n < 3) throw std::invalid_argument("circulant: need n >= 3");
+  if (neighbors < 1 || neighbors > (n - 1) / 2) {
+    throw std::invalid_argument("circulant: neighbors out of range");
+  }
+  Topology topo(n, "circulant(" + std::to_string(n) + "," +
+                       std::to_string(neighbors) + ")");
+  for (int i = 0; i < n; ++i) {
+    for (int d = 1; d <= neighbors; ++d) {
+      const int j = (i + d) % n;
+      topo.add_link(i, j, capacity);
+    }
+  }
+  return topo;
+}
+
+Topology line(int n, double capacity) {
+  if (n < 2) throw std::invalid_argument("line: need n >= 2");
+  Topology topo(n, "line" + std::to_string(n));
+  for (int i = 0; i + 1 < n; ++i) topo.add_link(i, i + 1, capacity);
+  return topo;
+}
+
+Topology star(int n, double capacity) {
+  if (n < 2) throw std::invalid_argument("star: need n >= 2");
+  Topology topo(n, "star" + std::to_string(n));
+  for (int i = 1; i < n; ++i) topo.add_link(0, i, capacity);
+  return topo;
+}
+
+Topology grid(int rows, int cols, double capacity) {
+  if (rows < 1 || cols < 1 || rows * cols < 2) {
+    throw std::invalid_argument("grid: need at least 2 nodes");
+  }
+  Topology topo(rows * cols,
+                "grid" + std::to_string(rows) + "x" + std::to_string(cols));
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) topo.add_link(id(r, c), id(r, c + 1), capacity);
+      if (r + 1 < rows) topo.add_link(id(r, c), id(r + 1, c), capacity);
+    }
+  }
+  return topo;
+}
+
+Topology random_connected(int n, double p, util::Rng& rng, double capacity) {
+  if (n < 2) throw std::invalid_argument("random_connected: need n >= 2");
+  Topology topo(n, "random" + std::to_string(n));
+  // Random spanning tree: attach each node i > 0 to a random predecessor.
+  std::vector<std::pair<int, int>> present;
+  for (int i = 1; i < n; ++i) {
+    const int j = rng.uniform_int(0, i - 1);
+    topo.add_link(i, j, capacity);
+    present.emplace_back(std::min(i, j), std::max(i, j));
+  }
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      const bool tree_edge =
+          std::find(present.begin(), present.end(), std::make_pair(a, b)) !=
+          present.end();
+      if (!tree_edge && rng.bernoulli(p)) topo.add_link(a, b, capacity);
+    }
+  }
+  return topo;
+}
+
+}  // namespace metaopt::net::topologies

@@ -1,0 +1,54 @@
+// Topology zoo: the paper's evaluation networks plus synthetic families.
+//
+// B4 and Abilene follow their published maps. SWAN's topology is
+// proprietary; swan() is a published-scale stand-in (see DESIGN.md §1).
+// fig1() is the paper's 3-node motivating example. circulant() generates
+// the "circle" topologies of Fig. 4b.
+#pragma once
+
+#include "net/topology.h"
+#include "util/rng.h"
+
+namespace metaopt::net::topologies {
+
+/// Default capacity (units) given to every directed link; the paper's DP
+/// threshold default (5% of link capacity) is then 50 — matching Fig. 1.
+inline constexpr double kDefaultCapacity = 1000.0;
+
+/// The paper's Figure-1 example: 3 nodes, unidirectional links
+/// 1->2 (cap 100), 2->3 (cap 110) with weight 1, and a "long" direct
+/// link 1->3 (cap 50) with weight 5, so the shortest path 1->3 is via
+/// node 2 while OPT can still use the direct link.
+Topology fig1();
+
+/// Google B4 (Jain et al., SIGCOMM'13): 12 nodes, 19 bidirectional links.
+Topology b4(double capacity = kDefaultCapacity);
+
+/// Internet2 Abilene core: 11 nodes, 14 bidirectional links.
+Topology abilene(double capacity = kDefaultCapacity);
+
+/// SWAN-scale stand-in (proprietary topology; see DESIGN.md):
+/// 10 nodes, 16 bidirectional links in two meshy regions.
+Topology swan(double capacity = kDefaultCapacity);
+
+/// Circle topology of Fig. 4b: n nodes on a ring, each connected to its
+/// `neighbors` nearest neighbors on each side (neighbors=1 is a plain
+/// cycle). Links are bidirectional.
+Topology circulant(int n, int neighbors, double capacity = kDefaultCapacity);
+
+/// Path graph with n nodes (bidirectional links).
+Topology line(int n, double capacity = kDefaultCapacity);
+
+/// Star with one hub and n-1 leaves (bidirectional links).
+Topology star(int n, double capacity = kDefaultCapacity);
+
+/// rows x cols grid (bidirectional links).
+Topology grid(int rows, int cols, double capacity = kDefaultCapacity);
+
+/// Connected Erdos-Renyi-style random topology: starts from a random
+/// spanning tree, then adds each remaining (unordered) pair with
+/// probability p. Bidirectional links.
+Topology random_connected(int n, double p, util::Rng& rng,
+                          double capacity = kDefaultCapacity);
+
+}  // namespace metaopt::net::topologies

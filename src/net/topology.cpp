@@ -1,0 +1,65 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace metaopt::net {
+
+Topology::Topology(int num_nodes, std::string name)
+    : num_nodes_(num_nodes), name_(std::move(name)), out_edges_(num_nodes) {
+  if (num_nodes <= 0) {
+    throw std::invalid_argument("Topology: need at least one node");
+  }
+}
+
+EdgeId Topology::add_edge(NodeId src, NodeId dst, double capacity,
+                          double weight) {
+  if (src < 0 || src >= num_nodes_ || dst < 0 || dst >= num_nodes_) {
+    throw std::invalid_argument("Topology::add_edge: node out of range");
+  }
+  if (src == dst) {
+    throw std::invalid_argument("Topology::add_edge: self loop");
+  }
+  edges_.push_back(Edge{src, dst, capacity, weight});
+  const EdgeId id = static_cast<EdgeId>(edges_.size() - 1);
+  out_edges_[src].push_back(id);
+  return id;
+}
+
+void Topology::add_link(NodeId a, NodeId b, double capacity, double weight) {
+  add_edge(a, b, capacity, weight);
+  add_edge(b, a, capacity, weight);
+}
+
+double Topology::total_capacity() const {
+  double total = 0.0;
+  for (const Edge& e : edges_) total += e.capacity;
+  return total;
+}
+
+double Topology::max_capacity() const {
+  double best = 0.0;
+  for (const Edge& e : edges_) best = std::max(best, e.capacity);
+  return best;
+}
+
+std::optional<EdgeId> Topology::find_edge(NodeId src, NodeId dst) const {
+  if (src < 0 || src >= num_nodes_) return std::nullopt;
+  for (EdgeId id : out_edges_[src]) {
+    if (edges_[id].dst == dst) return id;
+  }
+  return std::nullopt;
+}
+
+void Topology::validate() const {
+  for (const Edge& e : edges_) {
+    if (e.capacity <= 0.0) {
+      throw std::invalid_argument("Topology: non-positive capacity");
+    }
+    if (e.weight <= 0.0) {
+      throw std::invalid_argument("Topology: non-positive weight");
+    }
+  }
+}
+
+}  // namespace metaopt::net

@@ -1,0 +1,70 @@
+// Directed capacitated network topology.
+//
+// All TE formulations in the paper operate on directed edges (Fig. 1
+// explicitly uses unidirectional links); the production-topology builders
+// add both directions of each physical link.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace metaopt::net {
+
+using NodeId = int;
+using EdgeId = int;
+
+/// A directed capacitated edge. `weight` is the routing metric used for
+/// shortest paths (IGP cost / latency); Fig. 1's "long" direct link is
+/// expressed through it.
+struct Edge {
+  NodeId src = -1;
+  NodeId dst = -1;
+  double capacity = 0.0;
+  double weight = 1.0;
+};
+
+class Topology {
+ public:
+  explicit Topology(int num_nodes, std::string name = "");
+
+  /// Adds one directed edge; returns its id.
+  EdgeId add_edge(NodeId src, NodeId dst, double capacity,
+                  double weight = 1.0);
+
+  /// Adds both directions of a physical link.
+  void add_link(NodeId a, NodeId b, double capacity, double weight = 1.0);
+
+  [[nodiscard]] int num_nodes() const { return num_nodes_; }
+  [[nodiscard]] int num_edges() const {
+    return static_cast<int>(edges_.size());
+  }
+  [[nodiscard]] const Edge& edge(EdgeId e) const { return edges_.at(e); }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+  [[nodiscard]] const std::vector<EdgeId>& out_edges(NodeId n) const {
+    return out_edges_.at(n);
+  }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Sum of all directed edge capacities — the normalizer used by the
+  /// paper's Figure 3 gap metric.
+  [[nodiscard]] double total_capacity() const;
+
+  /// Maximum single edge capacity (used to size big-M constants).
+  [[nodiscard]] double max_capacity() const;
+
+  /// First edge src->dst if present.
+  [[nodiscard]] std::optional<EdgeId> find_edge(NodeId src, NodeId dst) const;
+
+  /// Throws std::invalid_argument on dangling node ids or non-positive
+  /// capacities.
+  void validate() const;
+
+ private:
+  int num_nodes_ = 0;
+  std::string name_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_edges_;
+};
+
+}  // namespace metaopt::net

@@ -1,0 +1,97 @@
+#include "net/topology_io.h"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_util.h"
+
+namespace metaopt::net {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::invalid_argument("topology line " + std::to_string(line) + ": " +
+                              message);
+}
+
+}  // namespace
+
+Topology read_topology(std::istream& in) {
+  std::string name = "unnamed";
+  std::optional<int> num_nodes;
+  struct PendingEdge {
+    int src, dst;
+    double capacity, weight;
+    bool bidirectional;
+  };
+  std::vector<PendingEdge> pending;
+
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    std::istringstream line(raw);
+    std::string directive;
+    if (!(line >> directive)) continue;  // blank
+    if (directive == "name") {
+      if (!(line >> name)) fail(line_no, "name needs a value");
+    } else if (directive == "nodes") {
+      int n = 0;
+      if (!(line >> n) || n <= 0) fail(line_no, "nodes needs a positive count");
+      num_nodes = n;
+    } else if (directive == "edge" || directive == "link") {
+      PendingEdge e{};
+      e.weight = 1.0;
+      e.bidirectional = directive == "link";
+      if (!(line >> e.src >> e.dst >> e.capacity)) {
+        fail(line_no, directive + " needs: src dst capacity [weight]");
+      }
+      line >> e.weight;  // optional
+      if (e.capacity <= 0.0) fail(line_no, "capacity must be positive");
+      if (e.weight <= 0.0) fail(line_no, "weight must be positive");
+      pending.push_back(e);
+    } else {
+      fail(line_no, "unknown directive '" + directive + "'");
+    }
+  }
+  if (!num_nodes) {
+    throw std::invalid_argument("topology: missing 'nodes' directive");
+  }
+  Topology topo(*num_nodes, name);
+  for (const PendingEdge& e : pending) {
+    if (e.src < 0 || e.src >= *num_nodes || e.dst < 0 ||
+        e.dst >= *num_nodes) {
+      throw std::invalid_argument("topology: edge endpoint out of range");
+    }
+    if (e.bidirectional) {
+      topo.add_link(e.src, e.dst, e.capacity, e.weight);
+    } else {
+      topo.add_edge(e.src, e.dst, e.capacity, e.weight);
+    }
+  }
+  return topo;
+}
+
+Topology read_topology_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    throw std::runtime_error("cannot open topology file: " + path);
+  }
+  return read_topology(in);
+}
+
+void write_topology(std::ostream& out, const Topology& topo) {
+  out << "name " << (topo.name().empty() ? "unnamed" : topo.name()) << '\n';
+  out << "nodes " << topo.num_nodes() << '\n';
+  for (const Edge& e : topo.edges()) {
+    out << "edge " << e.src << ' ' << e.dst << ' '
+        << util::format_double(e.capacity) << ' '
+        << util::format_double(e.weight) << '\n';
+  }
+}
+
+}  // namespace metaopt::net

@@ -1,0 +1,30 @@
+// Plain-text topology serialization, so users can run the framework on
+// their own networks without recompiling.
+//
+// Format (one directive per line, '#' comments):
+//   name my-wan
+//   nodes 12
+//   edge 0 1 1000 1.5     # directed: src dst capacity [weight=1]
+//   link 2 3 1000 1.0     # both directions
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "net/topology.h"
+
+namespace metaopt::net {
+
+/// Parses a topology from a stream. Throws std::invalid_argument with a
+/// line number on malformed input.
+Topology read_topology(std::istream& in);
+
+/// Parses a topology from a file path. Throws std::runtime_error if the
+/// file cannot be opened.
+Topology read_topology_file(const std::string& path);
+
+/// Writes the topology in the same format (directed edges only; pairs
+/// of opposite edges are not re-merged into `link` lines).
+void write_topology(std::ostream& out, const Topology& topo);
+
+}  // namespace metaopt::net

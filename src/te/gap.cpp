@@ -1,0 +1,57 @@
+#include "te/gap.h"
+
+#include "util/stats.h"
+
+namespace metaopt::te {
+
+GapResult DpGapOracle::evaluate(const std::vector<double>& volumes) const {
+  ++evaluations_;
+  GapResult result;
+  const MaxFlowResult opt = solve_max_flow(topo_, paths_, volumes);
+  if (opt.status != lp::SolveStatus::Optimal) {
+    result.status = opt.status;
+    return result;
+  }
+  result.opt = opt.total_flow;
+  const DpResult dp = solve_demand_pinning(topo_, paths_, volumes, config_);
+  result.status = dp.status;
+  result.heuristic_feasible = dp.feasible;
+  result.heur = dp.total_flow;
+  return result;
+}
+
+GapResult PopGapOracle::evaluate(const std::vector<double>& volumes) const {
+  ++evaluations_;
+  GapResult result;
+  const MaxFlowResult opt = solve_max_flow(topo_, paths_, volumes);
+  if (opt.status != lp::SolveStatus::Optimal) {
+    result.status = opt.status;
+    return result;
+  }
+  result.opt = opt.total_flow;
+  const std::vector<double> values = per_instance_heur(volumes);
+  if (values.size() != seeds_.size()) {
+    result.status = lp::SolveStatus::Error;
+    return result;
+  }
+  result.heur = util::mean(values);
+  result.heuristic_feasible = true;  // POP is feasible for any demand
+  result.status = lp::SolveStatus::Optimal;
+  return result;
+}
+
+std::vector<double> PopGapOracle::per_instance_heur(
+    const std::vector<double>& volumes) const {
+  std::vector<double> values;
+  values.reserve(seeds_.size());
+  for (const std::uint64_t seed : seeds_) {
+    PopConfig config = config_;
+    config.seed = seed;
+    const PopResult pop = solve_pop(topo_, paths_, volumes, config);
+    if (pop.status != lp::SolveStatus::Optimal) return {};
+    values.push_back(pop.total_flow);
+  }
+  return values;
+}
+
+}  // namespace metaopt::te

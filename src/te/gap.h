@@ -1,0 +1,104 @@
+// Direct gap evaluation: gap(d) = OPT(d) - Heuristic(d).
+//
+// These oracles are the shared ground truth of the whole system: the
+// black-box searchers (§3.4) climb on them, the white-box search uses
+// them as its branch-and-bound primal heuristic (so every incumbent is a
+// genuine adversarial input), and the tests compare the convex encodings
+// against them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "te/demand_pinning.h"
+#include "te/max_flow.h"
+#include "te/pop.h"
+
+namespace metaopt::te {
+
+struct GapResult {
+  lp::SolveStatus status = lp::SolveStatus::Error;
+  double opt = 0.0;
+  double heur = 0.0;
+  /// False when the heuristic has no feasible allocation on this input
+  /// (DP oversubscription, §5).
+  bool heuristic_feasible = false;
+
+  /// OPT - Heuristic; -1 for inputs where the heuristic is infeasible so
+  /// searchers steer away from them (the white-box method excludes them
+  /// by construction).
+  [[nodiscard]] double gap() const {
+    return heuristic_feasible ? opt - heur : -1.0;
+  }
+};
+
+/// Interface the black-box searchers optimize over.
+class GapOracle {
+ public:
+  virtual ~GapOracle() = default;
+  /// Dimension of the demand-volume vector.
+  [[nodiscard]] virtual int num_demands() const = 0;
+  [[nodiscard]] virtual GapResult evaluate(
+      const std::vector<double>& volumes) const = 0;
+  /// Number of evaluate() calls so far (latency bookkeeping for Fig. 3).
+  [[nodiscard]] long evaluations() const { return evaluations_; }
+
+ protected:
+  mutable long evaluations_ = 0;
+};
+
+/// OPT vs Demand Pinning.
+class DpGapOracle final : public GapOracle {
+ public:
+  DpGapOracle(const net::Topology& topo, const PathSet& paths,
+              DpConfig config)
+      : topo_(topo), paths_(paths), config_(config) {}
+
+  [[nodiscard]] int num_demands() const override {
+    return paths_.num_pairs();
+  }
+  [[nodiscard]] GapResult evaluate(
+      const std::vector<double>& volumes) const override;
+
+  [[nodiscard]] const DpConfig& config() const { return config_; }
+
+ private:
+  const net::Topology& topo_;
+  const PathSet& paths_;
+  DpConfig config_;
+};
+
+/// OPT vs POP, averaged over a fixed set of partition instantiations
+/// (the §3.2 expectation surrogate). A single seed reproduces the
+/// "1 random partition" column of Fig. 5a.
+class PopGapOracle final : public GapOracle {
+ public:
+  PopGapOracle(const net::Topology& topo, const PathSet& paths,
+               PopConfig config, std::vector<std::uint64_t> seeds)
+      : topo_(topo), paths_(paths), config_(config), seeds_(std::move(seeds)) {}
+
+  [[nodiscard]] int num_demands() const override {
+    return paths_.num_pairs();
+  }
+  /// heur = mean POP value across the instantiation seeds.
+  [[nodiscard]] GapResult evaluate(
+      const std::vector<double>& volumes) const override;
+
+  /// Per-instantiation heuristic values (Fig. 5a generalization test).
+  [[nodiscard]] std::vector<double> per_instance_heur(
+      const std::vector<double>& volumes) const;
+
+  [[nodiscard]] const PopConfig& config() const { return config_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& seeds() const {
+    return seeds_;
+  }
+
+ private:
+  const net::Topology& topo_;
+  const PathSet& paths_;
+  PopConfig config_;
+  std::vector<std::uint64_t> seeds_;
+};
+
+}  // namespace metaopt::te

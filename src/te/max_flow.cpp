@@ -1,0 +1,101 @@
+#include "te/max_flow.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "kkt/materialize.h"
+
+namespace metaopt::te {
+
+FlowEncoding build_max_flow(lp::Model& model, const net::Topology& topo,
+                            const PathSet& paths,
+                            const std::vector<lp::LinExpr>& demand,
+                            const std::string& prefix,
+                            const MaxFlowOptions& options) {
+  if (demand.size() != static_cast<std::size_t>(paths.num_pairs())) {
+    throw std::invalid_argument("build_max_flow: demand size mismatch");
+  }
+  if (options.capacity_override &&
+      options.capacity_override->size() !=
+          static_cast<std::size_t>(topo.num_edges())) {
+    throw std::invalid_argument("build_max_flow: capacity override size");
+  }
+
+  FlowEncoding enc;
+  enc.path_flow.resize(paths.num_pairs());
+
+  const double bound_dual =
+      options.dual_bound_scale > 0.0
+          ? options.dual_bound_scale * (paths.max_hops() + 1.0)
+          : lp::kInf;
+  const double row_dual =
+      options.dual_bound_scale > 0.0 ? options.dual_bound_scale : lp::kInf;
+  enc.inner.set_bound_dual_bound(bound_dual);
+
+  // Flow variables + volume rows.
+  std::vector<lp::LinExpr> edge_load(topo.num_edges());
+  std::vector<bool> edge_used(topo.num_edges(), false);
+  for (int k = 0; k < paths.num_pairs(); ++k) {
+    if (options.include && !(*options.include)[k]) continue;
+    const auto& plist = paths.paths(k);
+    if (plist.empty()) continue;
+    lp::LinExpr flow_k;
+    enc.path_flow[k].reserve(plist.size());
+    for (std::size_t p = 0; p < plist.size(); ++p) {
+      const lp::Var f = model.add_var(
+          prefix + "f[" + std::to_string(k) + "," + std::to_string(p) + "]");
+      enc.inner.add_decision_var(f);
+      enc.path_flow[k].push_back(f);
+      flow_k += f;
+      enc.total_flow += f;
+      for (net::EdgeId e : plist[p].edges) {
+        edge_load[e] += f;
+        edge_used[e] = true;
+      }
+    }
+    enc.inner.add_constraint(flow_k <= demand[k],
+                             prefix + "vol[" + std::to_string(k) + "]",
+                             row_dual);
+  }
+
+  // Capacity rows (only for edges actually carrying a path).
+  for (net::EdgeId e = 0; e < topo.num_edges(); ++e) {
+    if (!edge_used[e]) continue;
+    const double cap = options.capacity_override
+                           ? (*options.capacity_override)[e]
+                           : topo.edge(e).capacity;
+    enc.inner.add_constraint(
+        edge_load[e] <= lp::LinExpr(cap * options.capacity_scale),
+        prefix + "cap[" + std::to_string(e) + "]", row_dual);
+  }
+
+  enc.inner.set_objective(enc.total_flow);
+  return enc;
+}
+
+MaxFlowResult solve_max_flow(const net::Topology& topo, const PathSet& paths,
+                             const std::vector<double>& volumes,
+                             const MaxFlowOptions& options) {
+  lp::Model model;
+  std::vector<lp::LinExpr> demand;
+  demand.reserve(volumes.size());
+  for (double v : volumes) demand.emplace_back(v);
+  const FlowEncoding enc =
+      build_max_flow(model, topo, paths, demand, "mf.", options);
+  kkt::materialize(model, enc.inner);
+
+  MaxFlowResult result;
+  const lp::Solution sol = lp::SimplexSolver().solve(model);
+  result.status = sol.status;
+  if (sol.status != lp::SolveStatus::Optimal) return result;
+  result.total_flow = sol.objective;
+  result.path_flow.resize(enc.path_flow.size());
+  for (std::size_t k = 0; k < enc.path_flow.size(); ++k) {
+    for (const lp::Var f : enc.path_flow[k]) {
+      result.path_flow[k].push_back(sol.values[f.id]);
+    }
+  }
+  return result;
+}
+
+}  // namespace metaopt::te

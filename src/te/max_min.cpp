@@ -1,0 +1,155 @@
+#include "te/max_min.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "lp/simplex.h"
+
+namespace metaopt::te {
+
+namespace {
+
+/// Shared scaffolding for one water-filling LP: flow variables, rate
+/// expressions, and capacity rows.
+struct RoundModel {
+  lp::Model model;
+  std::vector<lp::LinExpr> rate;   // per pair; empty terms if no vars
+  std::vector<bool> has_vars;
+};
+
+RoundModel build_round(const net::Topology& topo, const PathSet& paths,
+                       const std::vector<double>& volumes) {
+  RoundModel rm;
+  rm.rate.resize(paths.num_pairs());
+  rm.has_vars.assign(paths.num_pairs(), false);
+  std::vector<lp::LinExpr> edge_load(topo.num_edges());
+  std::vector<bool> edge_used(topo.num_edges(), false);
+  for (int k = 0; k < paths.num_pairs(); ++k) {
+    if (paths.paths(k).empty() || volumes[k] <= 0.0) continue;
+    rm.has_vars[k] = true;
+    for (std::size_t p = 0; p < paths.paths(k).size(); ++p) {
+      const lp::Var f = rm.model.add_var(
+          "f[" + std::to_string(k) + "," + std::to_string(p) + "]");
+      rm.rate[k] += f;
+      for (net::EdgeId e : paths.paths(k)[p].edges) {
+        edge_load[e] += f;
+        edge_used[e] = true;
+      }
+    }
+  }
+  for (net::EdgeId e = 0; e < topo.num_edges(); ++e) {
+    if (!edge_used[e]) continue;
+    rm.model.add_constraint(edge_load[e] <= lp::LinExpr(topo.edge(e).capacity),
+                            "cap[" + std::to_string(e) + "]");
+  }
+  return rm;
+}
+
+}  // namespace
+
+MaxMinResult solve_max_min(const net::Topology& topo, const PathSet& paths,
+                           const std::vector<double>& volumes,
+                           const MaxMinOptions& options) {
+  if (volumes.size() != static_cast<std::size_t>(paths.num_pairs())) {
+    throw std::invalid_argument("solve_max_min: volume size mismatch");
+  }
+  MaxMinResult result;
+  result.rates.assign(paths.num_pairs(), 0.0);
+
+  std::vector<bool> frozen(paths.num_pairs(), true);
+  int active_count = 0;
+  for (int k = 0; k < paths.num_pairs(); ++k) {
+    if (!paths.paths(k).empty() && volumes[k] > 0.0) {
+      frozen[k] = false;
+      ++active_count;
+    }
+  }
+  const lp::SimplexSolver solver;
+
+  while (active_count > 0 && result.rounds < options.max_rounds) {
+    ++result.rounds;
+
+    // Stage 1: maximize the common rate t of all active demands.
+    RoundModel rm = build_round(topo, paths, volumes);
+    const lp::Var t = rm.model.add_var("t");
+    for (int k = 0; k < paths.num_pairs(); ++k) {
+      if (!rm.has_vars[k]) continue;
+      if (frozen[k]) {
+        rm.model.add_constraint(rm.rate[k] == lp::LinExpr(result.rates[k]),
+                                "freeze[" + std::to_string(k) + "]");
+      } else {
+        rm.model.add_constraint(rm.rate[k] >= lp::LinExpr(t),
+                                "min[" + std::to_string(k) + "]");
+        rm.model.add_constraint(rm.rate[k] <= lp::LinExpr(volumes[k]),
+                                "vol[" + std::to_string(k) + "]");
+      }
+    }
+    rm.model.set_objective(lp::ObjSense::Maximize, lp::LinExpr(t));
+    const lp::Solution stage1 = solver.solve(rm.model);
+    if (stage1.status != lp::SolveStatus::Optimal) {
+      result.status = stage1.status;
+      return result;
+    }
+    const double level = stage1.objective;
+    result.levels.push_back(level);
+
+    // Stage 2: probe which active demands can still grow past `level`.
+    bool froze_any = false;
+    for (int k = 0; k < paths.num_pairs(); ++k) {
+      if (frozen[k] || !rm.has_vars[k]) continue;
+      if (volumes[k] <= level + options.freeze_tol) {
+        // Demand-bound: saturated at its own volume.
+        frozen[k] = true;
+        result.rates[k] = std::min(level, volumes[k]);
+        --active_count;
+        froze_any = true;
+        continue;
+      }
+      RoundModel probe = build_round(topo, paths, volumes);
+      for (int j = 0; j < paths.num_pairs(); ++j) {
+        if (!probe.has_vars[j]) continue;
+        if (frozen[j]) {
+          probe.model.add_constraint(
+              probe.rate[j] == lp::LinExpr(result.rates[j]),
+              "freeze[" + std::to_string(j) + "]");
+        } else {
+          probe.model.add_constraint(probe.rate[j] >= lp::LinExpr(level),
+                                     "min[" + std::to_string(j) + "]");
+          probe.model.add_constraint(probe.rate[j] <=
+                                         lp::LinExpr(volumes[j]),
+                                     "vol[" + std::to_string(j) + "]");
+        }
+      }
+      probe.model.set_objective(lp::ObjSense::Maximize, probe.rate[k]);
+      const lp::Solution grown = solver.solve(probe.model);
+      if (grown.status != lp::SolveStatus::Optimal) {
+        result.status = grown.status;
+        return result;
+      }
+      if (grown.objective <= level + options.freeze_tol) {
+        // Bottleneck-bound at this level.
+        frozen[k] = true;
+        result.rates[k] = level;
+        --active_count;
+        froze_any = true;
+      }
+    }
+    if (!froze_any) {
+      // Numerical stall guard: freeze everything at the current level.
+      for (int k = 0; k < paths.num_pairs(); ++k) {
+        if (!frozen[k] && rm.has_vars[k]) {
+          frozen[k] = true;
+          result.rates[k] = level;
+          --active_count;
+        }
+      }
+    }
+  }
+
+  result.total_flow = 0.0;
+  for (double r : result.rates) result.total_flow += r;
+  result.status = lp::SolveStatus::Optimal;
+  return result;
+}
+
+}  // namespace metaopt::te

@@ -1,0 +1,45 @@
+// Max-min fair flow allocation — the other classic optimal TE objective
+// (§2 cites SWAN and B4, which both allocate max-min fair rates).
+//
+// Progressive water-filling: repeatedly maximize the common rate t of
+// all unfrozen demands subject to FeasibleFlow; demands that cannot grow
+// past the current level (demand-bound or bottleneck-bound, detected by
+// per-demand probing) are frozen at it; repeat until all are frozen.
+// The result is the lexicographically max-min rate vector over the
+// pre-chosen path sets.
+#pragma once
+
+#include <vector>
+
+#include "lp/solution.h"
+#include "te/max_flow.h"
+#include "te/path_set.h"
+
+namespace metaopt::te {
+
+struct MaxMinOptions {
+  /// Safety cap on water-filling rounds (each round freezes >= 1 demand,
+  /// so rounds <= #demands; the cap guards degenerate numerics).
+  int max_rounds = 10000;
+  /// Tolerance for "cannot grow": a demand is frozen when probing lifts
+  /// its rate by less than this.
+  double freeze_tol = 1e-6;
+};
+
+struct MaxMinResult {
+  lp::SolveStatus status = lp::SolveStatus::Error;
+  /// Max-min fair rate per demand pair (0 for pairs without paths or
+  /// with zero volume).
+  std::vector<double> rates;
+  double total_flow = 0.0;
+  /// The distinct fairness levels discovered, ascending.
+  std::vector<double> levels;
+  int rounds = 0;
+};
+
+/// Computes the max-min fair allocation for `volumes` over `paths`.
+MaxMinResult solve_max_min(const net::Topology& topo, const PathSet& paths,
+                           const std::vector<double>& volumes,
+                           const MaxMinOptions& options = {});
+
+}  // namespace metaopt::te

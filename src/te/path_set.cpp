@@ -1,0 +1,20 @@
+#include "te/path_set.h"
+
+#include <algorithm>
+
+namespace metaopt::te {
+
+PathSet::PathSet(const net::Topology& topo,
+                 std::vector<std::pair<net::NodeId, net::NodeId>> pairs,
+                 int paths_per_pair)
+    : pairs_(std::move(pairs)) {
+  paths_.reserve(pairs_.size());
+  for (const auto& [s, t] : pairs_) {
+    paths_.push_back(net::k_shortest_paths(topo, s, t, paths_per_pair));
+    for (const net::Path& p : paths_.back()) {
+      max_hops_ = std::max(max_hops_, p.hops());
+    }
+  }
+}
+
+}  // namespace metaopt::te

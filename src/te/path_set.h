@@ -1,0 +1,48 @@
+// Pre-chosen path sets per demand pair (the P of Eq. 2).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "net/paths.h"
+#include "net/topology.h"
+
+namespace metaopt::te {
+
+/// Yen k-shortest paths for each demand pair, aligned index-for-index
+/// with the pair list. Entry 0 of each list is the pair's shortest path
+/// (the one Demand Pinning pins to).
+class PathSet {
+ public:
+  /// Computes up to `paths_per_pair` loopless paths per pair; pairs with
+  /// no path at all keep an empty list (their demand can never be
+  /// served and DP pinning on them is vacuous).
+  PathSet(const net::Topology& topo,
+          std::vector<std::pair<net::NodeId, net::NodeId>> pairs,
+          int paths_per_pair);
+
+  [[nodiscard]] int num_pairs() const { return static_cast<int>(pairs_.size()); }
+  [[nodiscard]] const std::pair<net::NodeId, net::NodeId>& pair(int k) const {
+    return pairs_.at(k);
+  }
+  [[nodiscard]] const std::vector<std::pair<net::NodeId, net::NodeId>>& pairs()
+      const {
+    return pairs_;
+  }
+  [[nodiscard]] const std::vector<net::Path>& paths(int k) const {
+    return paths_.at(k);
+  }
+  /// The shortest path of pair k; paths(k) must be non-empty.
+  [[nodiscard]] const net::Path& shortest(int k) const {
+    return paths_.at(k).front();
+  }
+  /// Longest hop count across all stored paths (sizes KKT dual bounds).
+  [[nodiscard]] int max_hops() const { return max_hops_; }
+
+ private:
+  std::vector<std::pair<net::NodeId, net::NodeId>> pairs_;
+  std::vector<std::vector<net::Path>> paths_;
+  int max_hops_ = 0;
+};
+
+}  // namespace metaopt::te

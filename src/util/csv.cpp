@@ -1,0 +1,23 @@
+#include "util/csv.h"
+
+#include <filesystem>
+
+namespace metaopt::util {
+
+CsvWriter::CsvWriter(const std::string& path, const std::string& header) {
+  namespace fs = std::filesystem;
+  const bool fresh = !fs::exists(path) || fs::file_size(path) == 0;
+  out_.open(path, std::ios::app);
+  if (fresh && out_.good()) out_ << header << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+}  // namespace metaopt::util

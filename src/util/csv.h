@@ -1,0 +1,44 @@
+// Minimal CSV writer used by benches to emit plot-ready rows.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace metaopt::util {
+
+/// Appends rows to a CSV file (writing the header once when the file is
+/// created). Each bench emits `figure,series,x,y,...` rows so the paper's
+/// plots can be regenerated from the file.
+class CsvWriter {
+ public:
+  /// Opens `path` for appending; writes `header` if the file is new/empty.
+  CsvWriter(const std::string& path, const std::string& header);
+
+  /// Writes one row from already-formatted cells.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats arithmetic values with full precision.
+  template <typename... Ts>
+  void row(const Ts&... values) {
+    std::vector<std::string> cells;
+    (cells.push_back(format(values)), ...);
+    write_row(cells);
+  }
+
+  [[nodiscard]] bool ok() const { return out_.good(); }
+
+ private:
+  template <typename T>
+  static std::string format(const T& value) {
+    std::ostringstream os;
+    os.precision(12);
+    os << value;
+    return os.str();
+  }
+
+  std::ofstream out_;
+};
+
+}  // namespace metaopt::util

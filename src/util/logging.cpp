@@ -1,0 +1,61 @@
+#include "util/logging.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace metaopt::util {
+
+namespace {
+
+LogLevel g_level = LogLevel::Warn;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?????";
+}
+
+double seconds_since_start() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
+
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+bool set_log_level(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower.push_back(static_cast<char>(std::tolower(c)));
+  if (lower == "trace") g_level = LogLevel::Trace;
+  else if (lower == "debug") g_level = LogLevel::Debug;
+  else if (lower == "info") g_level = LogLevel::Info;
+  else if (lower == "warn") g_level = LogLevel::Warn;
+  else if (lower == "error") g_level = LogLevel::Error;
+  else if (lower == "off") g_level = LogLevel::Off;
+  else return false;
+  return true;
+}
+
+namespace detail {
+
+LogLine::LogLine(LogLevel level) : level_(level) {}
+
+LogLine::~LogLine() {
+  std::fprintf(stderr, "[%8.3f] %s %s\n", seconds_since_start(),
+               level_tag(level_), stream_.str().c_str());
+}
+
+}  // namespace detail
+
+}  // namespace metaopt::util

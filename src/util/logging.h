@@ -1,0 +1,56 @@
+// Lightweight leveled logging for the metaopt library.
+//
+// Usage:
+//   MO_LOG(Info) << "solved in " << iters << " iterations";
+//
+// The global level defaults to Warn so library code stays quiet inside
+// tests and benchmarks; examples raise it to Info.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace metaopt::util {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Returns the current global log level.
+LogLevel log_level();
+
+/// Sets the global log level (not thread-safe; call at startup).
+void set_log_level(LogLevel level);
+
+/// Parses "trace|debug|info|warn|error|off" (case-insensitive).
+/// Unknown strings leave the level unchanged and return false.
+bool set_log_level(const std::string& name);
+
+namespace detail {
+
+/// Accumulates one log line and flushes it (with level tag and elapsed
+/// time since process start) to stderr on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level);
+  ~LogLine();
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace metaopt::util
+
+#define MO_LOG(severity)                                                     \
+  if (::metaopt::util::LogLevel::severity >= ::metaopt::util::log_level())   \
+  ::metaopt::util::detail::LogLine(::metaopt::util::LogLevel::severity)

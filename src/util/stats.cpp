@@ -1,0 +1,42 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace metaopt::util {
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+Summary summarize(const std::vector<double>& values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.mean = mean(values);
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  double var = 0.0;
+  for (double v : values) var += (v - s.mean) * (v - s.mean);
+  var /= static_cast<double>(values.size());
+  s.stddev = std::sqrt(var);
+  s.p50 = percentile(values, 0.5);
+  s.p90 = percentile(values, 0.9);
+  return s;
+}
+
+}  // namespace metaopt::util

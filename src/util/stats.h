@@ -1,0 +1,29 @@
+// Small summary-statistics helpers shared by benches and tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace metaopt::util {
+
+/// Summary of a sample: count, mean, min, max, stddev, percentiles.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+};
+
+/// Computes a Summary over `values` (empty input yields all zeros).
+Summary summarize(const std::vector<double>& values);
+
+/// Arithmetic mean (0 for empty input).
+double mean(const std::vector<double>& values);
+
+/// Linear-interpolated percentile, q in [0,1] (0 for empty input).
+double percentile(std::vector<double> values, double q);
+
+}  // namespace metaopt::util

@@ -1,0 +1,29 @@
+// Monotonic stopwatch used for solver time limits and bench traces.
+#pragma once
+
+#include <chrono>
+
+namespace metaopt::util {
+
+/// Wall-clock stopwatch backed by std::chrono::steady_clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Restarts the stopwatch from zero.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace metaopt::util

@@ -1,0 +1,230 @@
+// Tests for the KKT single-shot rewrite (§3.1, Fig. 2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kkt/kkt_rewriter.h"
+#include "lp/simplex.h"
+#include "mip/branch_and_bound.h"
+#include "util/rng.h"
+
+namespace metaopt::kkt {
+namespace {
+
+using lp::LinExpr;
+using lp::Model;
+using lp::ObjSense;
+using lp::SolveStatus;
+using lp::Var;
+
+/// Solves the KKT feasibility system (with an optional outer objective)
+/// via branch-and-bound.
+lp::Solution solve_kkt(Model& outer) {
+  mip::MipOptions opt;
+  opt.time_limit_seconds = 30.0;
+  return mip::BranchAndBound(opt).solve(outer);
+}
+
+TEST(Kkt, RectangleExampleFig2) {
+  // Inner: min w^2 + l^2  s.t. 2(w + l) >= P, w,l >= 0; P fixed at 12.
+  // KKT gives w = l = P/4 = 3 and lambda = P/4 = 3 (Fig. 2).
+  Model outer;
+  Var P = outer.add_var("P", 12.0, 12.0);
+  Var w = outer.add_var("w");
+  Var l = outer.add_var("l");
+
+  InnerProblem inner(ObjSense::Minimize);
+  inner.add_decision_var(w);
+  inner.add_decision_var(l);
+  inner.add_constraint(2.0 * w + 2.0 * l >= LinExpr(P), "perimeter");
+  inner.set_objective(LinExpr(0.0));
+  inner.add_quadratic_objective(w, 1.0);
+  inner.add_quadratic_objective(l, 1.0);
+
+  const KktArtifacts art = emit_kkt(outer, inner, "rect.");
+  EXPECT_EQ(art.duals.size(), 3u);          // perimeter + two lb rows
+  EXPECT_EQ(art.num_complementarities, 3);  // all inequalities
+  outer.set_objective(ObjSense::Minimize, LinExpr(0.0));  // pure feasibility
+
+  const auto sol = solve_kkt(outer);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.values[w.id], 3.0, 1e-5);
+  EXPECT_NEAR(sol.values[l.id], 3.0, 1e-5);
+  EXPECT_NEAR(sol.values[art.duals[0].id], 3.0, 1e-5);  // lambda = P/4
+}
+
+TEST(Kkt, RectangleWithOuterVariablePerimeter) {
+  // Now the outer problem *chooses* P in [0, 40] to maximize w + l; the
+  // KKT system forces w = l = P/4, so the optimum is P=40, w+l=20.
+  Model outer;
+  Var P = outer.add_var("P", 0.0, 40.0);
+  Var w = outer.add_var("w");
+  Var l = outer.add_var("l");
+
+  InnerProblem inner(ObjSense::Minimize);
+  inner.add_decision_var(w);
+  inner.add_decision_var(l);
+  inner.add_constraint(2.0 * w + 2.0 * l >= LinExpr(P), "perimeter");
+  inner.add_quadratic_objective(w, 1.0);
+  inner.add_quadratic_objective(l, 1.0);
+
+  emit_kkt(outer, inner, "rect.");
+  outer.set_objective(ObjSense::Maximize, w + l);
+  const auto sol = solve_kkt(outer);
+  ASSERT_TRUE(sol.has_solution());
+  EXPECT_NEAR(sol.objective, 20.0, 1e-4);
+  EXPECT_NEAR(sol.values[P.id], 40.0, 1e-4);
+}
+
+TEST(Kkt, FeasiblePointIsInnerOptimal) {
+  // Inner LP: max x1 + x2 s.t. x1 + 2 x2 <= t, x1 <= 3 with outer t.
+  // For fixed t the optimum is min(t, 3) + max(0, (t - 3) / 2)...
+  // Cross-check against a direct simplex solve for several t.
+  for (double t : {1.0, 3.0, 5.0, 9.0}) {
+    Model outer;
+    Var tv = outer.add_var("t", t, t);
+    Var x1 = outer.add_var("x1");
+    Var x2 = outer.add_var("x2");
+    InnerProblem inner(ObjSense::Maximize);
+    inner.add_decision_var(x1);
+    inner.add_decision_var(x2);
+    inner.add_constraint(x1 + 2.0 * x2 <= LinExpr(tv), "c1");
+    inner.add_constraint(LinExpr(x1) <= LinExpr(3.0), "c2");
+    inner.set_objective(x1 + x2);
+    const KktArtifacts art = emit_kkt(outer, inner, "in.");
+    outer.set_objective(ObjSense::Minimize, LinExpr(0.0));
+    const auto sol = solve_kkt(outer);
+    ASSERT_EQ(sol.status, SolveStatus::Optimal) << "t=" << t;
+
+    // Direct reference solve.
+    Model direct;
+    Var y1 = direct.add_var("x1");
+    Var y2 = direct.add_var("x2");
+    direct.add_constraint(y1 + 2.0 * y2 <= LinExpr(t));
+    direct.add_constraint(LinExpr(y1) <= LinExpr(3.0));
+    direct.set_objective(ObjSense::Maximize, y1 + y2);
+    const auto ref = lp::SimplexSolver().solve(direct);
+    ASSERT_EQ(ref.status, SolveStatus::Optimal);
+
+    const double kkt_obj =
+        sol.values[x1.id] + sol.values[x2.id];
+    EXPECT_NEAR(kkt_obj, ref.objective, 1e-6) << "t=" << t;
+    (void)art;
+  }
+}
+
+TEST(Kkt, ObjectiveExprEvaluatesInnerOptimum) {
+  Model outer;
+  Var x = outer.add_var("x", 0.0, 7.0);
+  InnerProblem inner(ObjSense::Maximize);
+  inner.add_decision_var(x);
+  inner.set_objective(2.0 * LinExpr(x) + 1.0);
+  const KktArtifacts art = emit_kkt(outer, inner, "in.");
+  outer.set_objective(ObjSense::Minimize, LinExpr(0.0));
+  const auto sol = solve_kkt(outer);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(outer.eval(art.objective_expr, sol.values), 15.0, 1e-5);
+}
+
+TEST(Kkt, RejectsQuadraticOnParameter) {
+  Model outer;
+  Var theta = outer.add_var("theta", 0.0, 1.0);
+  Var x = outer.add_var("x");
+  InnerProblem inner(ObjSense::Minimize);
+  inner.add_decision_var(x);
+  inner.add_quadratic_objective(theta, 1.0);  // theta is not a decision var
+  EXPECT_THROW(emit_kkt(outer, inner, "in."), std::invalid_argument);
+}
+
+TEST(Kkt, RejectsNonconvexQuadratic) {
+  Model outer;
+  Var x = outer.add_var("x");
+  InnerProblem inner(ObjSense::Minimize);
+  inner.add_decision_var(x);
+  inner.add_quadratic_objective(x, -1.0);  // concave under minimize
+  EXPECT_THROW(emit_kkt(outer, inner, "in."), std::invalid_argument);
+}
+
+TEST(Kkt, RejectsDuplicateDecisionVar) {
+  Model outer;
+  Var x = outer.add_var("x");
+  InnerProblem inner(ObjSense::Minimize);
+  inner.add_decision_var(x);
+  inner.add_decision_var(x);
+  EXPECT_THROW(emit_kkt(outer, inner, "in."), std::invalid_argument);
+}
+
+TEST(Kkt, DualBoundsTightenButPreserveOptimum) {
+  // Max-flow-like LP duals admit an optimal point <= 1 when objective
+  // coefficients are 1; verify the bounded rewrite still matches.
+  Model outer;
+  Var x1 = outer.add_var("x1");
+  Var x2 = outer.add_var("x2");
+  InnerProblem inner(ObjSense::Maximize);
+  inner.add_decision_var(x1);
+  inner.add_decision_var(x2);
+  inner.add_constraint(x1 + x2 <= LinExpr(4.0), "cap", /*dual_bound=*/1.0);
+  inner.add_constraint(LinExpr(x2) <= LinExpr(1.0), "d2", 1.0);
+  inner.set_bound_dual_bound(1.0);
+  inner.set_objective(x1 + x2);
+  emit_kkt(outer, inner, "in.");
+  outer.set_objective(ObjSense::Minimize, LinExpr(0.0));
+  const auto sol = solve_kkt(outer);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.values[x1.id] + sol.values[x2.id], 4.0, 1e-6);
+}
+
+class KktRandomLpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KktRandomLpTest, KktSystemReproducesDirectOptimum) {
+  // Random bounded max-LPs: solving the KKT feasibility system must land
+  // exactly on the direct optimum (any feasible point is optimal, §3.1).
+  util::Rng rng(900 + GetParam());
+  const int n = rng.uniform_int(2, 4);
+  const int rows = rng.uniform_int(1, 3);
+
+  Model direct;
+  Model outer;
+  std::vector<Var> dx, ox;
+  for (int j = 0; j < n; ++j) {
+    const double ub = rng.uniform(1.0, 4.0);
+    dx.push_back(direct.add_var("x" + std::to_string(j), 0.0, ub));
+    ox.push_back(outer.add_var("x" + std::to_string(j), 0.0, ub));
+  }
+  InnerProblem inner(ObjSense::Maximize);
+  for (const Var v : ox) inner.add_decision_var(v);
+  for (int r = 0; r < rows; ++r) {
+    LinExpr de, oe;
+    for (int j = 0; j < n; ++j) {
+      const double a = rng.uniform(0.0, 2.0);
+      de.add_term(dx[j], a);
+      oe.add_term(ox[j], a);
+    }
+    const double b = rng.uniform(1.0, 5.0);
+    direct.add_constraint(de <= LinExpr(b));
+    inner.add_constraint(oe <= LinExpr(b));
+  }
+  LinExpr dobj, oobj;
+  for (int j = 0; j < n; ++j) {
+    const double c = rng.uniform(0.1, 2.0);
+    dobj.add_term(dx[j], c);
+    oobj.add_term(ox[j], c);
+  }
+  direct.set_objective(ObjSense::Maximize, dobj);
+  inner.set_objective(oobj);
+
+  const auto ref = lp::SimplexSolver().solve(direct);
+  ASSERT_EQ(ref.status, SolveStatus::Optimal);
+
+  const KktArtifacts art = emit_kkt(outer, inner, "in.");
+  outer.set_objective(ObjSense::Minimize, LinExpr(0.0));
+  const auto sol = solve_kkt(outer);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal) << "seed " << GetParam();
+  EXPECT_NEAR(outer.eval(art.objective_expr, sol.values), ref.objective, 1e-5)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KktRandomLpTest, ::testing::Range(1, 41));
+
+}  // namespace
+}  // namespace metaopt::kkt

@@ -1,0 +1,116 @@
+// Tests for the max-min fair allocation (§2's alternative TE objective).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/topologies.h"
+#include "te/demand.h"
+#include "te/max_min.h"
+#include "util/rng.h"
+
+namespace metaopt::te {
+namespace {
+
+using net::Topology;
+namespace topologies = net::topologies;
+
+TEST(MaxMin, SingleDemandGetsItsVolume) {
+  const Topology topo = topologies::line(3);
+  const PathSet paths(topo, {{0, 2}}, 1);
+  const MaxMinResult r = solve_max_min(topo, paths, {300.0});
+  ASSERT_EQ(r.status, lp::SolveStatus::Optimal);
+  EXPECT_NEAR(r.rates[0], 300.0, 1e-6);
+}
+
+TEST(MaxMin, BottleneckSharedEqually) {
+  // Two demands share the 0-1 link (cap 1000): each gets 500.
+  Topology topo(3, "t");
+  topo.add_edge(0, 1, 1000.0);
+  topo.add_edge(1, 2, 1000.0);
+  const PathSet paths(topo, {{0, 1}, {0, 2}}, 1);
+  const MaxMinResult r = solve_max_min(topo, paths, {2000.0, 2000.0});
+  ASSERT_EQ(r.status, lp::SolveStatus::Optimal);
+  EXPECT_NEAR(r.rates[0], 500.0, 1e-5);
+  EXPECT_NEAR(r.rates[1], 500.0, 1e-5);
+}
+
+TEST(MaxMin, WaterFillingSecondLevel) {
+  // Same bottleneck, but demand 0 only wants 200: demand 1 should then
+  // receive the remaining 800 (two fairness levels).
+  Topology topo(3, "t");
+  topo.add_edge(0, 1, 1000.0);
+  topo.add_edge(1, 2, 1000.0);
+  const PathSet paths(topo, {{0, 1}, {0, 2}}, 1);
+  const MaxMinResult r = solve_max_min(topo, paths, {200.0, 2000.0});
+  ASSERT_EQ(r.status, lp::SolveStatus::Optimal);
+  EXPECT_NEAR(r.rates[0], 200.0, 1e-5);
+  EXPECT_NEAR(r.rates[1], 800.0, 1e-5);
+  EXPECT_GE(r.levels.size(), 2u);
+}
+
+TEST(MaxMin, ZeroDemandsYieldZeroRates) {
+  const Topology topo = topologies::abilene();
+  const PathSet paths(topo, all_pairs(topo), 2);
+  const std::vector<double> volumes(paths.num_pairs(), 0.0);
+  const MaxMinResult r = solve_max_min(topo, paths, volumes);
+  ASSERT_EQ(r.status, lp::SolveStatus::Optimal);
+  EXPECT_NEAR(r.total_flow, 0.0, 1e-9);
+  EXPECT_EQ(r.rounds, 0);
+}
+
+TEST(MaxMin, RatesRespectVolumesAndCapacities) {
+  const Topology topo = topologies::b4();
+  const PathSet paths(topo, all_pairs(topo), 2);
+  DemandGenerator gen(topo, util::Rng(5));
+  const std::vector<double> volumes = volumes_of(gen.uniform(50.0, 400.0));
+  const MaxMinResult r = solve_max_min(topo, paths, volumes);
+  ASSERT_EQ(r.status, lp::SolveStatus::Optimal);
+  for (int k = 0; k < paths.num_pairs(); ++k) {
+    EXPECT_LE(r.rates[k], volumes[k] + 1e-5);
+    EXPECT_GE(r.rates[k], -1e-9);
+  }
+  EXPECT_GT(r.total_flow, 0.0);
+}
+
+TEST(MaxMin, TotalFlowAtMostMaxFlow) {
+  // Fairness costs throughput: total max-min flow <= OptMaxFlow.
+  const Topology topo = topologies::abilene();
+  const PathSet paths(topo, all_pairs(topo), 2);
+  DemandGenerator gen(topo, util::Rng(8));
+  const std::vector<double> volumes = volumes_of(gen.uniform(100.0, 500.0));
+  const MaxMinResult fair = solve_max_min(topo, paths, volumes);
+  const MaxFlowResult opt = solve_max_flow(topo, paths, volumes);
+  ASSERT_EQ(fair.status, lp::SolveStatus::Optimal);
+  ASSERT_EQ(opt.status, lp::SolveStatus::Optimal);
+  EXPECT_LE(fair.total_flow, opt.total_flow + 1e-4);
+}
+
+TEST(MaxMin, LevelsAreAscending) {
+  const Topology topo = topologies::swan();
+  const PathSet paths(topo, all_pairs(topo), 2);
+  DemandGenerator gen(topo, util::Rng(13));
+  const std::vector<double> volumes = volumes_of(gen.gravity(150.0));
+  const MaxMinResult r = solve_max_min(topo, paths, volumes);
+  ASSERT_EQ(r.status, lp::SolveStatus::Optimal);
+  for (std::size_t i = 1; i < r.levels.size(); ++i) {
+    EXPECT_GE(r.levels[i], r.levels[i - 1] - 1e-7);
+  }
+}
+
+TEST(MaxMin, LexicographicDominanceOverMaxFlowMin) {
+  // The smallest max-min rate must be at least the smallest rate any
+  // max-flow allocation gives (which is often 0).
+  Topology topo(3, "t");
+  topo.add_edge(0, 1, 100.0);
+  topo.add_edge(1, 2, 100.0);
+  const PathSet paths(topo, {{0, 2}, {0, 1}, {1, 2}}, 1);
+  const MaxMinResult fair = solve_max_min(topo, paths, {100.0, 100.0, 100.0});
+  ASSERT_EQ(fair.status, lp::SolveStatus::Optimal);
+  const double min_rate =
+      *std::min_element(fair.rates.begin(), fair.rates.end());
+  // Max-flow would zero the 2-hop demand; max-min must not.
+  EXPECT_GT(min_rate, 10.0);
+}
+
+}  // namespace
+}  // namespace metaopt::te

@@ -1,0 +1,154 @@
+// Tests for topology, shortest paths, Yen k-shortest, and the zoo.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/paths.h"
+#include "net/topologies.h"
+#include "net/topology.h"
+#include "util/rng.h"
+
+namespace metaopt::net {
+namespace {
+
+TEST(Topology, BasicAccessors) {
+  Topology topo(3, "t");
+  const EdgeId e0 = topo.add_edge(0, 1, 10.0, 2.0);
+  topo.add_link(1, 2, 5.0);
+  EXPECT_EQ(topo.num_nodes(), 3);
+  EXPECT_EQ(topo.num_edges(), 3);
+  EXPECT_EQ(topo.edge(e0).dst, 1);
+  EXPECT_DOUBLE_EQ(topo.total_capacity(), 20.0);
+  EXPECT_DOUBLE_EQ(topo.max_capacity(), 10.0);
+  EXPECT_TRUE(topo.find_edge(1, 2).has_value());
+  EXPECT_TRUE(topo.find_edge(2, 1).has_value());
+  EXPECT_FALSE(topo.find_edge(0, 2).has_value());
+}
+
+TEST(Topology, RejectsBadEdges) {
+  Topology topo(2);
+  EXPECT_THROW(topo.add_edge(0, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(topo.add_edge(0, 5, 1.0), std::invalid_argument);
+  topo.add_edge(0, 1, -1.0);
+  EXPECT_THROW(topo.validate(), std::invalid_argument);
+}
+
+TEST(ShortestPath, PrefersLowWeight) {
+  // 0->1->2 weight 2 vs direct 0->2 weight 5 (the Fig. 1 structure).
+  const Topology topo = topologies::fig1();
+  const auto p = shortest_path(topo, 0, 2);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->hops(), 2);
+  EXPECT_DOUBLE_EQ(p->weight(topo), 2.0);
+}
+
+TEST(ShortestPath, UnreachableReturnsNullopt) {
+  Topology topo(3);
+  topo.add_edge(0, 1, 1.0);
+  EXPECT_FALSE(shortest_path(topo, 1, 0).has_value());
+  EXPECT_FALSE(shortest_path(topo, 0, 2).has_value());
+}
+
+TEST(ShortestPath, RespectsBans) {
+  const Topology topo = topologies::fig1();
+  std::vector<bool> banned_edges(topo.num_edges(), false);
+  banned_edges[1] = true;  // ban 1->2
+  const auto p = shortest_path(topo, 0, 2, &banned_edges);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->hops(), 1);  // forced onto the direct long link
+}
+
+TEST(KShortest, ReturnsAscendingDistinctPaths) {
+  const Topology topo = topologies::b4();
+  const auto paths = k_shortest_paths(topo, 0, 11, 4);
+  ASSERT_GE(paths.size(), 2u);
+  std::set<std::vector<EdgeId>> seen;
+  double prev = 0.0;
+  for (const Path& p : paths) {
+    EXPECT_TRUE(seen.insert(p.edges).second) << "duplicate path";
+    EXPECT_GE(p.weight(topo), prev - 1e-12);
+    prev = p.weight(topo);
+    // Loopless check.
+    std::set<NodeId> nodes;
+    for (NodeId n : p.nodes(topo)) EXPECT_TRUE(nodes.insert(n).second);
+    // Connected: consecutive edges chain up.
+    for (std::size_t i = 1; i < p.edges.size(); ++i) {
+      EXPECT_EQ(topo.edge(p.edges[i - 1]).dst, topo.edge(p.edges[i]).src);
+    }
+    EXPECT_EQ(topo.edge(p.edges.front()).src, 0);
+    EXPECT_EQ(topo.edge(p.edges.back()).dst, 11);
+  }
+}
+
+TEST(KShortest, Fig1HasTwoPaths) {
+  const Topology topo = topologies::fig1();
+  const auto paths = k_shortest_paths(topo, 0, 2, 3);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].hops(), 2);  // via node 1
+  EXPECT_EQ(paths[1].hops(), 1);  // direct long link
+}
+
+TEST(KShortest, LineHasSinglePath) {
+  const Topology topo = topologies::line(5);
+  const auto paths = k_shortest_paths(topo, 0, 4, 3);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].hops(), 4);
+}
+
+TEST(Zoo, PublishedSizes) {
+  EXPECT_EQ(topologies::b4().num_nodes(), 12);
+  EXPECT_EQ(topologies::b4().num_edges(), 38);  // 19 links, both directions
+  EXPECT_EQ(topologies::abilene().num_nodes(), 11);
+  EXPECT_EQ(topologies::abilene().num_edges(), 28);  // 14 links
+  EXPECT_EQ(topologies::swan().num_nodes(), 10);
+  EXPECT_EQ(topologies::swan().num_edges(), 32);  // 16 links
+}
+
+TEST(Zoo, AllConnectedBothWays) {
+  for (const Topology& topo :
+       {topologies::b4(), topologies::abilene(), topologies::swan(),
+        topologies::circulant(8, 2), topologies::grid(3, 3),
+        topologies::star(5)}) {
+    for (NodeId s = 0; s < topo.num_nodes(); ++s) {
+      for (NodeId t = 0; t < topo.num_nodes(); ++t) {
+        if (s == t) continue;
+        EXPECT_TRUE(shortest_path(topo, s, t).has_value())
+            << topo.name() << " " << s << "->" << t;
+      }
+    }
+  }
+}
+
+TEST(Zoo, CirculantPathLengthShrinksWithNeighbors) {
+  const double l1 = average_shortest_path_length(topologies::circulant(12, 1));
+  const double l2 = average_shortest_path_length(topologies::circulant(12, 2));
+  const double l3 = average_shortest_path_length(topologies::circulant(12, 3));
+  EXPECT_GT(l1, l2);
+  EXPECT_GT(l2, l3);
+}
+
+TEST(Zoo, CirculantRejectsBadArgs) {
+  EXPECT_THROW(topologies::circulant(2, 1), std::invalid_argument);
+  EXPECT_THROW(topologies::circulant(8, 4), std::invalid_argument);
+}
+
+TEST(Zoo, RandomConnectedIsConnected) {
+  util::Rng rng(42);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Topology topo = topologies::random_connected(8, 0.2, rng);
+    for (NodeId t = 1; t < topo.num_nodes(); ++t) {
+      EXPECT_TRUE(shortest_path(topo, 0, t).has_value());
+      EXPECT_TRUE(shortest_path(topo, t, 0).has_value());
+    }
+  }
+}
+
+TEST(Zoo, StarAverageLengthNearTwo) {
+  // Star: hub<->leaf = 1 hop (2(n-1) ordered pairs), leaf<->leaf = 2.
+  const double avg = average_shortest_path_length(topologies::star(6));
+  EXPECT_GT(avg, 1.5);
+  EXPECT_LT(avg, 2.0);
+}
+
+}  // namespace
+}  // namespace metaopt::net

@@ -1,0 +1,132 @@
+// Tests for the black-box searchers (§3.4).
+#include <gtest/gtest.h>
+
+#include "net/topologies.h"
+#include "search/search.h"
+#include "te/demand.h"
+
+namespace metaopt::search {
+namespace {
+
+using net::Topology;
+namespace topologies = net::topologies;
+
+/// Fig. 1 oracle: 3 demand dims that matter, known max gap 100.
+struct Fig1Fixture {
+  Topology topo = topologies::fig1();
+  te::PathSet paths{topo, te::all_pairs(topo), 2};
+  te::DpConfig config;
+  te::DpGapOracle oracle{topo, paths, config};
+
+  Fig1Fixture() { config.threshold = 50.0; }
+};
+
+SearchOptions quick_options(double seconds, std::uint64_t seed = 1) {
+  SearchOptions o;
+  o.time_limit_seconds = seconds;
+  o.demand_ub = 110.0;
+  o.seed = seed;
+  return o;
+}
+
+TEST(HillClimb, FindsPositiveGapOnFig1) {
+  Fig1Fixture f;
+  te::DpGapOracle oracle(f.topo, f.paths, f.config);
+  const SearchResult r = hill_climb(oracle, quick_options(1.0));
+  EXPECT_GT(r.best.gap(), 0.0);
+  EXPECT_GT(r.evaluations, 10);
+  EXPECT_EQ(r.best_volumes.size(), 6u);
+  // Trace is monotone increasing in gap and time.
+  for (std::size_t i = 1; i < r.trace.size(); ++i) {
+    EXPECT_GE(r.trace[i].first, r.trace[i - 1].first);
+    EXPECT_GT(r.trace[i].second, r.trace[i - 1].second);
+  }
+}
+
+TEST(HillClimb, DeterministicForFixedSeed) {
+  Fig1Fixture f;
+  SearchOptions o = quick_options(0.2, 7);
+  o.max_evaluations = 400;
+  te::DpGapOracle o1(f.topo, f.paths, f.config);
+  te::DpGapOracle o2(f.topo, f.paths, f.config);
+  const SearchResult a = hill_climb(o1, o);
+  const SearchResult b = hill_climb(o2, o);
+  EXPECT_EQ(a.best_volumes, b.best_volumes);
+  EXPECT_DOUBLE_EQ(a.best.gap(), b.best.gap());
+}
+
+TEST(SimulatedAnnealing, FindsPositiveGapOnFig1) {
+  Fig1Fixture f;
+  te::DpGapOracle oracle(f.topo, f.paths, f.config);
+  const SearchResult r = simulated_annealing(oracle, quick_options(1.0));
+  EXPECT_GT(r.best.gap(), 0.0);
+}
+
+TEST(RandomSearch, RespectsEvaluationBudget) {
+  Fig1Fixture f;
+  te::DpGapOracle oracle(f.topo, f.paths, f.config);
+  SearchOptions o = quick_options(30.0);
+  o.max_evaluations = 50;
+  const SearchResult r = random_search(oracle, o);
+  EXPECT_LE(r.evaluations, 51);
+}
+
+TEST(QuantizedClimb, FindsExactFig1Optimum) {
+  // With levels {0, 50, 100, 110} the paper's worst case (100, 50, 110)
+  // is in the grid; the climber should find gap 100 quickly.
+  Fig1Fixture f;
+  te::DpGapOracle oracle(f.topo, f.paths, f.config);
+  SearchOptions o = quick_options(2.0);
+  o.levels = {0.0, 50.0, 100.0, 110.0};
+  const SearchResult r = quantized_climb(oracle, o);
+  EXPECT_NEAR(r.best.gap(), 100.0, 1e-6);
+}
+
+TEST(QuantizedClimb, BeatsRandomOnDpShape) {
+  // DP's adversarial inputs are near the threshold — a tiny slice of the
+  // volume box (the paper's footnote 2) — so quantized search with the
+  // threshold level dominates pure random sampling.
+  const Topology topo = topologies::abilene();
+  const te::PathSet paths(topo, te::all_pairs(topo), 2);
+  te::DpConfig config;
+  config.threshold = 50.0;
+  te::DpGapOracle q_oracle(topo, paths, config);
+  te::DpGapOracle r_oracle(topo, paths, config);
+  SearchOptions o;
+  o.time_limit_seconds = 2.0;
+  o.demand_ub = 1000.0;
+  o.levels = {0.0, 50.0, 1000.0};
+  const SearchResult quant = quantized_climb(q_oracle, o);
+  const SearchResult rand = random_search(r_oracle, o);
+  EXPECT_GT(quant.best.gap(), rand.best.gap());
+}
+
+TEST(MaskedOracle, ProjectsAndExpands) {
+  Fig1Fixture f;
+  te::DpGapOracle base(f.topo, f.paths, f.config);
+  std::vector<bool> include(6, false);
+  include[1] = true;  // only pair (0,2) adversarial
+  MaskedGapOracle masked(base, include);
+  EXPECT_EQ(masked.num_demands(), 1);
+  const std::vector<double> full = masked.expand({50.0});
+  ASSERT_EQ(full.size(), 6u);
+  EXPECT_DOUBLE_EQ(full[1], 50.0);
+  EXPECT_DOUBLE_EQ(full[0], 0.0);
+  // Pinning 50 on (0,2) with no other demand wastes nothing: gap 0.
+  const te::GapResult g = masked.evaluate({50.0});
+  EXPECT_NEAR(g.gap(), 0.0, 1e-9);
+}
+
+TEST(AllSearchers, GapZeroAtZeroDemandBaseline) {
+  Fig1Fixture f;
+  SearchOptions o = quick_options(0.05);
+  o.max_evaluations = 5;
+  for (auto* fn : {hill_climb, simulated_annealing, random_search}) {
+    te::DpGapOracle oracle(f.topo, f.paths, f.config);
+    const SearchResult r = fn(oracle, o);
+    EXPECT_GE(r.best.gap(), 0.0);  // zero-demand baseline is gap 0
+  }
+}
+
+}  // namespace
+}  // namespace metaopt::search

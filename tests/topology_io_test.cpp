@@ -1,0 +1,75 @@
+// Tests for topology serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/topologies.h"
+#include "net/topology_io.h"
+
+namespace metaopt::net {
+namespace {
+
+TEST(TopologyIo, ParsesBasicFile) {
+  std::istringstream in(R"(# test network
+name demo
+nodes 3
+edge 0 1 100 1
+edge 1 2 110        # default weight
+link 0 2 50 5
+)");
+  const Topology topo = read_topology(in);
+  EXPECT_EQ(topo.name(), "demo");
+  EXPECT_EQ(topo.num_nodes(), 3);
+  EXPECT_EQ(topo.num_edges(), 4);  // 2 directed + 1 bidirectional
+  const auto direct = topo.find_edge(0, 2);
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_DOUBLE_EQ(topo.edge(*direct).weight, 5.0);
+  EXPECT_DOUBLE_EQ(topo.edge(*direct).capacity, 50.0);
+  EXPECT_TRUE(topo.find_edge(2, 0).has_value());
+}
+
+TEST(TopologyIo, RoundTripsTheZoo) {
+  for (const Topology& original :
+       {topologies::b4(), topologies::abilene(), topologies::fig1()}) {
+    std::ostringstream out;
+    write_topology(out, original);
+    std::istringstream in(out.str());
+    const Topology parsed = read_topology(in);
+    EXPECT_EQ(parsed.num_nodes(), original.num_nodes());
+    ASSERT_EQ(parsed.num_edges(), original.num_edges());
+    for (EdgeId e = 0; e < original.num_edges(); ++e) {
+      EXPECT_EQ(parsed.edge(e).src, original.edge(e).src);
+      EXPECT_EQ(parsed.edge(e).dst, original.edge(e).dst);
+      EXPECT_DOUBLE_EQ(parsed.edge(e).capacity, original.edge(e).capacity);
+      EXPECT_DOUBLE_EQ(parsed.edge(e).weight, original.edge(e).weight);
+    }
+  }
+}
+
+TEST(TopologyIo, RejectsMissingNodes) {
+  std::istringstream in("edge 0 1 10\n");
+  EXPECT_THROW(read_topology(in), std::invalid_argument);
+}
+
+TEST(TopologyIo, RejectsUnknownDirective) {
+  std::istringstream in("nodes 2\nfoo 1 2\n");
+  EXPECT_THROW(read_topology(in), std::invalid_argument);
+}
+
+TEST(TopologyIo, RejectsBadCapacity) {
+  std::istringstream in("nodes 2\nedge 0 1 -5\n");
+  EXPECT_THROW(read_topology(in), std::invalid_argument);
+}
+
+TEST(TopologyIo, RejectsOutOfRangeEndpoint) {
+  std::istringstream in("nodes 2\nedge 0 7 10\n");
+  EXPECT_THROW(read_topology(in), std::invalid_argument);
+}
+
+TEST(TopologyIo, MissingFileThrowsRuntimeError) {
+  EXPECT_THROW(read_topology_file("/nonexistent/topo.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace metaopt::net

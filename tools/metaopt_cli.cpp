@@ -1,0 +1,301 @@
+// metaopt — command-line front end.
+//
+//   metaopt topo <name|file>                       topology summary
+//   metaopt find dp  [options]                     white-box DP search
+//   metaopt find pop [options]                     white-box POP search
+//   metaopt bound dp|pop [options]                 primal-dual upper bound
+//   metaopt search hill|anneal|random|quant dp|pop black-box baselines
+//
+// Common options:
+//   --topology <b4|abilene|swan|fig1|file.topo>   (default b4)
+//   --paths N          paths per pair              (default 2)
+//   --budget SECONDS   solver budget               (default 30)
+//   --threshold T      DP pinning threshold        (default 50)
+//   --partitions C     POP partitions              (default 2)
+//   --instances R      POP instantiations          (default 3)
+//   --pairs N          restrict adversarial support to ~N pairs
+//   --demand-ub U      demand box upper bound      (default max capacity)
+//   --seed S           RNG seed                    (default 1)
+//   --csv FILE         append a result row to FILE
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/adversarial.h"
+#include "core/gap_bound.h"
+#include "net/paths.h"
+#include "net/topologies.h"
+#include "net/topology_io.h"
+#include "search/search.h"
+#include "te/demand.h"
+#include "te/gap.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+#include "util/logging.h"
+
+using namespace metaopt;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& def) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? def : it->second;
+  }
+  [[nodiscard]] double get_num(const std::string& key, double def) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? def : std::atof(it->second.c_str());
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::string key = arg.substr(2);
+      if (i + 1 < argc) {
+        args.flags[key] = argv[++i];
+      } else {
+        args.flags[key] = "1";
+      }
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+net::Topology load_topology(const std::string& spec) {
+  if (spec == "b4") return net::topologies::b4();
+  if (spec == "abilene") return net::topologies::abilene();
+  if (spec == "swan") return net::topologies::swan();
+  if (spec == "fig1") return net::topologies::fig1();
+  return net::read_topology_file(spec);
+}
+
+std::vector<bool> make_mask(const te::PathSet& paths, int target) {
+  std::vector<bool> mask;
+  if (target <= 0 || target >= paths.num_pairs()) return mask;
+  mask.assign(paths.num_pairs(), false);
+  const int stride = std::max(1, paths.num_pairs() / target);
+  int enabled = 0;
+  for (int k = 0; k < paths.num_pairs() && enabled < target; k += stride) {
+    mask[k] = true;
+    ++enabled;
+  }
+  return mask;
+}
+
+void maybe_csv(const Args& args, const std::string& kind,
+               const std::string& heuristic, double gap, double norm_gap,
+               double seconds) {
+  const std::string path = args.get("csv", "");
+  if (path.empty()) return;
+  util::CsvWriter out(path, "kind,heuristic,gap,norm_gap,seconds");
+  out.row(kind, heuristic, gap, norm_gap, seconds);
+}
+
+int cmd_topo(const Args& args) {
+  const net::Topology topo = load_topology(
+      args.positional.size() > 1 ? args.positional[1] : args.get("topology", "b4"));
+  std::printf("name:             %s\n", topo.name().c_str());
+  std::printf("nodes:            %d\n", topo.num_nodes());
+  std::printf("directed edges:   %d\n", topo.num_edges());
+  std::printf("total capacity:   %.1f\n", topo.total_capacity());
+  std::printf("avg shortest path %.3f\n",
+              net::average_shortest_path_length(topo));
+  return 0;
+}
+
+int cmd_find(const Args& args) {
+  if (args.positional.size() < 2) {
+    std::fprintf(stderr, "usage: metaopt find dp|pop [options]\n");
+    return 2;
+  }
+  const std::string heuristic = args.positional[1];
+  const net::Topology topo = load_topology(args.get("topology", "b4"));
+  const te::PathSet paths(topo, te::all_pairs(topo),
+                          static_cast<int>(args.get_num("paths", 2)));
+  core::AdversarialGapFinder finder(topo, paths);
+  core::AdversarialOptions options;
+  options.mip.time_limit_seconds = args.get_num("budget", 30.0);
+  options.seed_search_seconds = options.mip.time_limit_seconds * 0.3;
+  options.demand_ub = args.get_num("demand-ub", 0.0);
+  options.pair_mask =
+      make_mask(paths, static_cast<int>(args.get_num("pairs", 0)));
+
+  core::AdversarialResult result;
+  if (heuristic == "dp") {
+    te::DpConfig dp;
+    dp.threshold = args.get_num("threshold", 50.0);
+    result = finder.find_dp_gap(dp, options);
+  } else if (heuristic == "pop") {
+    te::PopConfig pop;
+    pop.num_partitions = static_cast<int>(args.get_num("partitions", 2));
+    std::vector<std::uint64_t> seeds;
+    const int instances = static_cast<int>(args.get_num("instances", 3));
+    const std::uint64_t base =
+        static_cast<std::uint64_t>(args.get_num("seed", 1));
+    for (int i = 0; i < instances; ++i) seeds.push_back(base + i);
+    result = finder.find_pop_gap(pop, seeds, options);
+  } else {
+    std::fprintf(stderr, "unknown heuristic '%s'\n", heuristic.c_str());
+    return 2;
+  }
+
+  std::printf("status:      %s\n", lp::to_string(result.status));
+  std::printf("gap:         %.3f (%.2f%% of total capacity)\n", result.gap,
+              100.0 * result.normalized_gap);
+  std::printf("opt / heur:  %.3f / %.3f\n", result.opt_value,
+              result.heur_value);
+  std::printf("bound:       %s\n",
+              std::isfinite(result.bound)
+                  ? util::format_double(result.bound).c_str()
+                  : "open");
+  std::printf("nodes:       %ld in %.1fs\n", result.nodes, result.seconds);
+  std::printf("model:       %d vars, %d rows, %d SOS, %d binaries\n",
+              result.stats.num_vars, result.stats.num_constraints,
+              result.stats.num_complementarities, result.stats.num_binaries);
+  int shown = 0;
+  for (std::size_t k = 0; k < result.volumes.size() && shown < 15; ++k) {
+    if (result.volumes[k] > 1e-6) {
+      const auto [s, t] = paths.pair(static_cast<int>(k));
+      std::printf("  d[%d->%d] = %.1f\n", s, t, result.volumes[k]);
+      ++shown;
+    }
+  }
+  maybe_csv(args, "find", heuristic, result.gap, result.normalized_gap,
+            result.seconds);
+  return 0;
+}
+
+int cmd_bound(const Args& args) {
+  if (args.positional.size() < 2) {
+    std::fprintf(stderr, "usage: metaopt bound dp|pop [options]\n");
+    return 2;
+  }
+  const std::string heuristic = args.positional[1];
+  const net::Topology topo = load_topology(args.get("topology", "b4"));
+  const te::PathSet paths(topo, te::all_pairs(topo),
+                          static_cast<int>(args.get_num("paths", 2)));
+  core::GapBounder bounder(topo, paths);
+  core::AdversarialOptions options;
+  options.mip.time_limit_seconds = args.get_num("budget", 30.0);
+  options.demand_ub = args.get_num("demand-ub", 0.0);
+  options.pair_mask =
+      make_mask(paths, static_cast<int>(args.get_num("pairs", 0)));
+
+  core::GapBoundResult result;
+  if (heuristic == "dp") {
+    te::DpConfig dp;
+    dp.threshold = args.get_num("threshold", 50.0);
+    result = bounder.bound_dp_gap(dp, options);
+  } else if (heuristic == "pop") {
+    te::PopConfig pop;
+    pop.num_partitions = static_cast<int>(args.get_num("partitions", 2));
+    std::vector<std::uint64_t> seeds;
+    const int instances = static_cast<int>(args.get_num("instances", 3));
+    for (int i = 0; i < instances; ++i) seeds.push_back(1 + i);
+    result = bounder.bound_pop_gap(pop, seeds, options);
+  } else {
+    std::fprintf(stderr, "unknown heuristic '%s'\n", heuristic.c_str());
+    return 2;
+  }
+  std::printf("status:       %s\n", lp::to_string(result.status));
+  std::printf("upper bound:  %.3f (%.2f%% of total capacity)\n",
+              result.upper_bound, 100.0 * result.normalized_upper_bound);
+  std::printf("solve time:   %.2fs (model: %d vars, %d rows, 0 SOS)\n",
+              result.seconds, result.stats.num_vars,
+              result.stats.num_constraints);
+  maybe_csv(args, "bound", heuristic, result.upper_bound,
+            result.normalized_upper_bound, result.seconds);
+  return 0;
+}
+
+int cmd_search(const Args& args) {
+  if (args.positional.size() < 3) {
+    std::fprintf(stderr,
+                 "usage: metaopt search hill|anneal|random|quant dp|pop\n");
+    return 2;
+  }
+  const std::string method = args.positional[1];
+  const std::string heuristic = args.positional[2];
+  const net::Topology topo = load_topology(args.get("topology", "b4"));
+  const te::PathSet paths(topo, te::all_pairs(topo),
+                          static_cast<int>(args.get_num("paths", 2)));
+
+  te::DpConfig dp;
+  dp.threshold = args.get_num("threshold", 50.0);
+  te::PopConfig pop;
+  pop.num_partitions = static_cast<int>(args.get_num("partitions", 2));
+  std::vector<std::uint64_t> seeds;
+  for (int i = 0; i < static_cast<int>(args.get_num("instances", 3)); ++i) {
+    seeds.push_back(1 + i);
+  }
+  const te::DpGapOracle dp_oracle(topo, paths, dp);
+  const te::PopGapOracle pop_oracle(topo, paths, pop, seeds);
+  const te::GapOracle& oracle =
+      heuristic == "dp" ? static_cast<const te::GapOracle&>(dp_oracle)
+                        : static_cast<const te::GapOracle&>(pop_oracle);
+
+  search::SearchOptions options;
+  options.time_limit_seconds = args.get_num("budget", 30.0);
+  options.demand_ub =
+      args.get_num("demand-ub", 0.0) > 0.0 ? args.get_num("demand-ub", 0.0)
+                                           : topo.max_capacity();
+  options.seed = static_cast<std::uint64_t>(args.get_num("seed", 1));
+  options.levels = {0.0, dp.threshold, options.demand_ub};
+
+  search::SearchResult r;
+  if (method == "hill") r = search::hill_climb(oracle, options);
+  else if (method == "anneal") r = search::simulated_annealing(oracle, options);
+  else if (method == "random") r = search::random_search(oracle, options);
+  else if (method == "quant") r = search::quantized_climb(oracle, options);
+  else {
+    std::fprintf(stderr, "unknown method '%s'\n", method.c_str());
+    return 2;
+  }
+  std::printf("best gap:    %.3f (%.2f%% of total capacity)\n", r.best.gap(),
+              100.0 * r.best.gap() / topo.total_capacity());
+  std::printf("evaluations: %ld in %.1fs (%ld restarts)\n", r.evaluations,
+              r.seconds, r.restarts);
+  maybe_csv(args, "search." + method, heuristic, r.best.gap(),
+            r.best.gap() / topo.total_capacity(), r.seconds);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::set_log_level(util::LogLevel::Warn);
+  const Args args = parse_args(argc, argv);
+  if (const auto it = args.flags.find("log"); it != args.flags.end()) {
+    util::set_log_level(it->second);
+  }
+  if (args.positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: metaopt topo|find|bound|search ... (see header)\n");
+    return 2;
+  }
+  const std::string& command = args.positional[0];
+  try {
+    if (command == "topo") return cmd_topo(args);
+    if (command == "find") return cmd_find(args);
+    if (command == "bound") return cmd_bound(args);
+    if (command == "search") return cmd_search(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return 2;
+}
