@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rewrites.dir/ablation_rewrites.cpp.o"
+  "CMakeFiles/ablation_rewrites.dir/ablation_rewrites.cpp.o.d"
+  "ablation_rewrites"
+  "ablation_rewrites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rewrites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3_gap_vs_time.cpp" "bench/CMakeFiles/fig3_gap_vs_time.dir/fig3_gap_vs_time.cpp.o" "gcc" "bench/CMakeFiles/fig3_gap_vs_time.dir/fig3_gap_vs_time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/metaopt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/metaopt_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/te/CMakeFiles/metaopt_te.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/metaopt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mip/CMakeFiles/metaopt_mip.dir/DependInfo.cmake"
+  "/root/repo/build/src/kkt/CMakeFiles/metaopt_kkt.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/metaopt_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/metaopt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_dp_threshold.dir/fig4a_dp_threshold.cpp.o"
+  "CMakeFiles/fig4a_dp_threshold.dir/fig4a_dp_threshold.cpp.o.d"
+  "fig4a_dp_threshold"
+  "fig4a_dp_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_dp_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_dp_synthetic.dir/fig4b_dp_synthetic.cpp.o"
+  "CMakeFiles/fig4b_dp_synthetic.dir/fig4b_dp_synthetic.cpp.o.d"
+  "fig4b_dp_synthetic"
+  "fig4b_dp_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_dp_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_pop_instances.dir/fig5a_pop_instances.cpp.o"
+  "CMakeFiles/fig5a_pop_instances.dir/fig5a_pop_instances.cpp.o.d"
+  "fig5a_pop_instances"
+  "fig5a_pop_instances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_pop_instances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

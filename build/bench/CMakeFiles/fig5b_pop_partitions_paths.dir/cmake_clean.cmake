@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_pop_partitions_paths.dir/fig5b_pop_partitions_paths.cpp.o"
+  "CMakeFiles/fig5b_pop_partitions_paths.dir/fig5b_pop_partitions_paths.cpp.o.d"
+  "fig5b_pop_partitions_paths"
+  "fig5b_pop_partitions_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_pop_partitions_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_problem_sizes.dir/fig6_problem_sizes.cpp.o"
+  "CMakeFiles/fig6_problem_sizes.dir/fig6_problem_sizes.cpp.o.d"
+  "fig6_problem_sizes"
+  "fig6_problem_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_problem_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

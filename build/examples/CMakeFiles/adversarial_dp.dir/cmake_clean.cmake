@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversarial_dp.dir/adversarial_dp.cpp.o"
+  "CMakeFiles/adversarial_dp.dir/adversarial_dp.cpp.o.d"
+  "adversarial_dp"
+  "adversarial_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversarial_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversarial_pop.dir/adversarial_pop.cpp.o"
+  "CMakeFiles/adversarial_pop.dir/adversarial_pop.cpp.o.d"
+  "adversarial_pop"
+  "adversarial_pop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversarial_pop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

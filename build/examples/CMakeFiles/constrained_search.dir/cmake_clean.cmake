@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constrained_search.dir/constrained_search.cpp.o"
+  "CMakeFiles/constrained_search.dir/constrained_search.cpp.o.d"
+  "constrained_search"
+  "constrained_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constrained_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rectangle_kkt.dir/rectangle_kkt.cpp.o"
+  "CMakeFiles/rectangle_kkt.dir/rectangle_kkt.cpp.o.d"
+  "rectangle_kkt"
+  "rectangle_kkt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rectangle_kkt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

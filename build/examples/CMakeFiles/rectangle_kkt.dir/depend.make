@@ -1,0 +1,2 @@
+# Empty dependencies file for rectangle_kkt.
+# This may be replaced when dependencies are built.

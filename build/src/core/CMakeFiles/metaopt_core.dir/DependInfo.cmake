@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adversarial.cpp" "src/core/CMakeFiles/metaopt_core.dir/adversarial.cpp.o" "gcc" "src/core/CMakeFiles/metaopt_core.dir/adversarial.cpp.o.d"
+  "/root/repo/src/core/gap_bound.cpp" "src/core/CMakeFiles/metaopt_core.dir/gap_bound.cpp.o" "gcc" "src/core/CMakeFiles/metaopt_core.dir/gap_bound.cpp.o.d"
+  "/root/repo/src/core/input_constraints.cpp" "src/core/CMakeFiles/metaopt_core.dir/input_constraints.cpp.o" "gcc" "src/core/CMakeFiles/metaopt_core.dir/input_constraints.cpp.o.d"
+  "/root/repo/src/core/sorting_network.cpp" "src/core/CMakeFiles/metaopt_core.dir/sorting_network.cpp.o" "gcc" "src/core/CMakeFiles/metaopt_core.dir/sorting_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/te/CMakeFiles/metaopt_te.dir/DependInfo.cmake"
+  "/root/repo/build/src/mip/CMakeFiles/metaopt_mip.dir/DependInfo.cmake"
+  "/root/repo/build/src/kkt/CMakeFiles/metaopt_kkt.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/metaopt_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/metaopt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/metaopt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/metaopt_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metaopt_core.dir/adversarial.cpp.o"
+  "CMakeFiles/metaopt_core.dir/adversarial.cpp.o.d"
+  "CMakeFiles/metaopt_core.dir/gap_bound.cpp.o"
+  "CMakeFiles/metaopt_core.dir/gap_bound.cpp.o.d"
+  "CMakeFiles/metaopt_core.dir/input_constraints.cpp.o"
+  "CMakeFiles/metaopt_core.dir/input_constraints.cpp.o.d"
+  "CMakeFiles/metaopt_core.dir/sorting_network.cpp.o"
+  "CMakeFiles/metaopt_core.dir/sorting_network.cpp.o.d"
+  "libmetaopt_core.a"
+  "libmetaopt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metaopt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kkt/canon.cpp" "src/kkt/CMakeFiles/metaopt_kkt.dir/canon.cpp.o" "gcc" "src/kkt/CMakeFiles/metaopt_kkt.dir/canon.cpp.o.d"
+  "/root/repo/src/kkt/kkt_rewriter.cpp" "src/kkt/CMakeFiles/metaopt_kkt.dir/kkt_rewriter.cpp.o" "gcc" "src/kkt/CMakeFiles/metaopt_kkt.dir/kkt_rewriter.cpp.o.d"
+  "/root/repo/src/kkt/materialize.cpp" "src/kkt/CMakeFiles/metaopt_kkt.dir/materialize.cpp.o" "gcc" "src/kkt/CMakeFiles/metaopt_kkt.dir/materialize.cpp.o.d"
+  "/root/repo/src/kkt/parametric.cpp" "src/kkt/CMakeFiles/metaopt_kkt.dir/parametric.cpp.o" "gcc" "src/kkt/CMakeFiles/metaopt_kkt.dir/parametric.cpp.o.d"
+  "/root/repo/src/kkt/primal_dual.cpp" "src/kkt/CMakeFiles/metaopt_kkt.dir/primal_dual.cpp.o" "gcc" "src/kkt/CMakeFiles/metaopt_kkt.dir/primal_dual.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lp/CMakeFiles/metaopt_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/metaopt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metaopt_kkt.dir/canon.cpp.o"
+  "CMakeFiles/metaopt_kkt.dir/canon.cpp.o.d"
+  "CMakeFiles/metaopt_kkt.dir/kkt_rewriter.cpp.o"
+  "CMakeFiles/metaopt_kkt.dir/kkt_rewriter.cpp.o.d"
+  "CMakeFiles/metaopt_kkt.dir/materialize.cpp.o"
+  "CMakeFiles/metaopt_kkt.dir/materialize.cpp.o.d"
+  "CMakeFiles/metaopt_kkt.dir/parametric.cpp.o"
+  "CMakeFiles/metaopt_kkt.dir/parametric.cpp.o.d"
+  "CMakeFiles/metaopt_kkt.dir/primal_dual.cpp.o"
+  "CMakeFiles/metaopt_kkt.dir/primal_dual.cpp.o.d"
+  "libmetaopt_kkt.a"
+  "libmetaopt_kkt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metaopt_kkt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metaopt_lp.dir/expr.cpp.o"
+  "CMakeFiles/metaopt_lp.dir/expr.cpp.o.d"
+  "CMakeFiles/metaopt_lp.dir/model.cpp.o"
+  "CMakeFiles/metaopt_lp.dir/model.cpp.o.d"
+  "CMakeFiles/metaopt_lp.dir/model_io.cpp.o"
+  "CMakeFiles/metaopt_lp.dir/model_io.cpp.o.d"
+  "CMakeFiles/metaopt_lp.dir/presolve.cpp.o"
+  "CMakeFiles/metaopt_lp.dir/presolve.cpp.o.d"
+  "CMakeFiles/metaopt_lp.dir/simplex.cpp.o"
+  "CMakeFiles/metaopt_lp.dir/simplex.cpp.o.d"
+  "CMakeFiles/metaopt_lp.dir/standard_form.cpp.o"
+  "CMakeFiles/metaopt_lp.dir/standard_form.cpp.o.d"
+  "libmetaopt_lp.a"
+  "libmetaopt_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metaopt_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

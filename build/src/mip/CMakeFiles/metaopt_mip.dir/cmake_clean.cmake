@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metaopt_mip.dir/branch_and_bound.cpp.o"
+  "CMakeFiles/metaopt_mip.dir/branch_and_bound.cpp.o.d"
+  "libmetaopt_mip.a"
+  "libmetaopt_mip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metaopt_mip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metaopt_net.dir/paths.cpp.o"
+  "CMakeFiles/metaopt_net.dir/paths.cpp.o.d"
+  "CMakeFiles/metaopt_net.dir/topologies.cpp.o"
+  "CMakeFiles/metaopt_net.dir/topologies.cpp.o.d"
+  "CMakeFiles/metaopt_net.dir/topology.cpp.o"
+  "CMakeFiles/metaopt_net.dir/topology.cpp.o.d"
+  "CMakeFiles/metaopt_net.dir/topology_io.cpp.o"
+  "CMakeFiles/metaopt_net.dir/topology_io.cpp.o.d"
+  "libmetaopt_net.a"
+  "libmetaopt_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metaopt_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metaopt_search.dir/search.cpp.o"
+  "CMakeFiles/metaopt_search.dir/search.cpp.o.d"
+  "libmetaopt_search.a"
+  "libmetaopt_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metaopt_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/te/client_split.cpp" "src/te/CMakeFiles/metaopt_te.dir/client_split.cpp.o" "gcc" "src/te/CMakeFiles/metaopt_te.dir/client_split.cpp.o.d"
+  "/root/repo/src/te/demand.cpp" "src/te/CMakeFiles/metaopt_te.dir/demand.cpp.o" "gcc" "src/te/CMakeFiles/metaopt_te.dir/demand.cpp.o.d"
+  "/root/repo/src/te/demand_pinning.cpp" "src/te/CMakeFiles/metaopt_te.dir/demand_pinning.cpp.o" "gcc" "src/te/CMakeFiles/metaopt_te.dir/demand_pinning.cpp.o.d"
+  "/root/repo/src/te/gap.cpp" "src/te/CMakeFiles/metaopt_te.dir/gap.cpp.o" "gcc" "src/te/CMakeFiles/metaopt_te.dir/gap.cpp.o.d"
+  "/root/repo/src/te/max_flow.cpp" "src/te/CMakeFiles/metaopt_te.dir/max_flow.cpp.o" "gcc" "src/te/CMakeFiles/metaopt_te.dir/max_flow.cpp.o.d"
+  "/root/repo/src/te/max_min.cpp" "src/te/CMakeFiles/metaopt_te.dir/max_min.cpp.o" "gcc" "src/te/CMakeFiles/metaopt_te.dir/max_min.cpp.o.d"
+  "/root/repo/src/te/path_set.cpp" "src/te/CMakeFiles/metaopt_te.dir/path_set.cpp.o" "gcc" "src/te/CMakeFiles/metaopt_te.dir/path_set.cpp.o.d"
+  "/root/repo/src/te/pop.cpp" "src/te/CMakeFiles/metaopt_te.dir/pop.cpp.o" "gcc" "src/te/CMakeFiles/metaopt_te.dir/pop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/metaopt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/metaopt_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/kkt/CMakeFiles/metaopt_kkt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/metaopt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metaopt_te.dir/client_split.cpp.o"
+  "CMakeFiles/metaopt_te.dir/client_split.cpp.o.d"
+  "CMakeFiles/metaopt_te.dir/demand.cpp.o"
+  "CMakeFiles/metaopt_te.dir/demand.cpp.o.d"
+  "CMakeFiles/metaopt_te.dir/demand_pinning.cpp.o"
+  "CMakeFiles/metaopt_te.dir/demand_pinning.cpp.o.d"
+  "CMakeFiles/metaopt_te.dir/gap.cpp.o"
+  "CMakeFiles/metaopt_te.dir/gap.cpp.o.d"
+  "CMakeFiles/metaopt_te.dir/max_flow.cpp.o"
+  "CMakeFiles/metaopt_te.dir/max_flow.cpp.o.d"
+  "CMakeFiles/metaopt_te.dir/max_min.cpp.o"
+  "CMakeFiles/metaopt_te.dir/max_min.cpp.o.d"
+  "CMakeFiles/metaopt_te.dir/path_set.cpp.o"
+  "CMakeFiles/metaopt_te.dir/path_set.cpp.o.d"
+  "CMakeFiles/metaopt_te.dir/pop.cpp.o"
+  "CMakeFiles/metaopt_te.dir/pop.cpp.o.d"
+  "libmetaopt_te.a"
+  "libmetaopt_te.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metaopt_te.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmetaopt_te.a"
+)

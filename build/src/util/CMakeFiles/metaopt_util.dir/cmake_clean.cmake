@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metaopt_util.dir/csv.cpp.o"
+  "CMakeFiles/metaopt_util.dir/csv.cpp.o.d"
+  "CMakeFiles/metaopt_util.dir/logging.cpp.o"
+  "CMakeFiles/metaopt_util.dir/logging.cpp.o.d"
+  "CMakeFiles/metaopt_util.dir/rng.cpp.o"
+  "CMakeFiles/metaopt_util.dir/rng.cpp.o.d"
+  "CMakeFiles/metaopt_util.dir/stats.cpp.o"
+  "CMakeFiles/metaopt_util.dir/stats.cpp.o.d"
+  "CMakeFiles/metaopt_util.dir/string_util.cpp.o"
+  "CMakeFiles/metaopt_util.dir/string_util.cpp.o.d"
+  "libmetaopt_util.a"
+  "libmetaopt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metaopt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_split_test.dir/client_split_test.cpp.o"
+  "CMakeFiles/client_split_test.dir/client_split_test.cpp.o.d"
+  "client_split_test"
+  "client_split_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_split_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kkt_test.dir/kkt_test.cpp.o"
+  "CMakeFiles/kkt_test.dir/kkt_test.cpp.o.d"
+  "kkt_test"
+  "kkt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kkt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/max_min_test.dir/max_min_test.cpp.o"
+  "CMakeFiles/max_min_test.dir/max_min_test.cpp.o.d"
+  "max_min_test"
+  "max_min_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/max_min_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primal_dual_test.dir/primal_dual_test.cpp.o"
+  "CMakeFiles/primal_dual_test.dir/primal_dual_test.cpp.o.d"
+  "primal_dual_test"
+  "primal_dual_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primal_dual_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(lp_test "/root/repo/build/tests/lp_test")
+set_tests_properties(lp_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;9;metaopt_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(mip_test "/root/repo/build/tests/mip_test")
+set_tests_properties(mip_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;10;metaopt_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(kkt_test "/root/repo/build/tests/kkt_test")
+set_tests_properties(kkt_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;11;metaopt_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(net_test "/root/repo/build/tests/net_test")
+set_tests_properties(net_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;12;metaopt_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(te_test "/root/repo/build/tests/te_test")
+set_tests_properties(te_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;13;metaopt_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(search_test "/root/repo/build/tests/search_test")
+set_tests_properties(search_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;14;metaopt_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_test "/root/repo/build/tests/core_test")
+set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;15;metaopt_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(client_split_test "/root/repo/build/tests/client_split_test")
+set_tests_properties(client_split_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;16;metaopt_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sorting_network_test "/root/repo/build/tests/sorting_network_test")
+set_tests_properties(sorting_network_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;17;metaopt_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(primal_dual_test "/root/repo/build/tests/primal_dual_test")
+set_tests_properties(primal_dual_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;18;metaopt_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(max_min_test "/root/repo/build/tests/max_min_test")
+set_tests_properties(max_min_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;19;metaopt_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(presolve_test "/root/repo/build/tests/presolve_test")
+set_tests_properties(presolve_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;20;metaopt_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(topology_io_test "/root/repo/build/tests/topology_io_test")
+set_tests_properties(topology_io_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;21;metaopt_test;/root/repo/tests/CMakeLists.txt;0;")

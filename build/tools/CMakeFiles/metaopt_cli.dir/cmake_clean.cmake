@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metaopt_cli.dir/metaopt_cli.cpp.o"
+  "CMakeFiles/metaopt_cli.dir/metaopt_cli.cpp.o.d"
+  "metaopt"
+  "metaopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metaopt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
