@@ -72,6 +72,7 @@ void finalize_result(const Model& model, const net::Topology& topo,
   result.status = sol.status;
   result.nodes = sol.iterations;
   result.bound = sol.best_bound;
+  result.certified = sol.certified;
   // A TimeLimit status can arrive without any incumbent: values empty.
   if (!sol.has_solution() || sol.values.empty()) return;
   result.gap = sol.objective;

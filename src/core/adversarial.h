@@ -72,6 +72,9 @@ struct AdversarialResult {
   lp::ModelStats stats;
   double seconds = 0.0;
   long nodes = 0;
+  /// True when the solve ran with certification enabled and the
+  /// incumbent passed check::certify_mip (see Solution::certified).
+  bool certified = false;
 
   /// True when a (possibly non-optimal) adversarial input was found.
   [[nodiscard]] bool has_solution() const { return !volumes.empty(); }

@@ -55,6 +55,7 @@ GapBoundResult finish(Model& model, const net::Topology& topo,
   result.upper_bound =
       sol.status == lp::SolveStatus::Optimal ? sol.objective : sol.best_bound;
   result.normalized_upper_bound = result.upper_bound / topo.total_capacity();
+  result.certified = sol.certified;
   result.seconds = watch.seconds();
   return result;
 }

@@ -28,6 +28,9 @@ struct GapBoundResult {
   double normalized_upper_bound = 0.0;
   double seconds = 0.0;
   lp::ModelStats stats;
+  /// True when the solve ran with certification enabled and passed
+  /// check::certify_mip (see Solution::certified).
+  bool certified = false;
 };
 
 class GapBounder {

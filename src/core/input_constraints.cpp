@@ -4,11 +4,13 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/tolerances.h"
+
 namespace metaopt::core {
 
 namespace {
 
-constexpr double kTol = 1e-7;
+constexpr double kTol = tol::kFeasTol;
 
 int count_active(const std::vector<lp::Var>& demand) {
   int n = 0;

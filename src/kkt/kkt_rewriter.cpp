@@ -4,7 +4,9 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "check/lint.h"
 #include "kkt/canon.h"
+#include "util/logging.h"
 
 namespace metaopt::kkt {
 
@@ -128,6 +130,16 @@ KktArtifacts emit_kkt(Model& outer, const InnerProblem& inner,
   out.objective_expr = inner.objective();
   out.num_vars_added = outer.num_vars() - vars_before;
   out.num_constraints_added = outer.num_constraints() - cons_before;
+
+#ifndef NDEBUG
+  // Lint every KKT-materialized model in Debug builds: a NaN coefficient
+  // or absorbed big-M here fabricates or hides gaps with no solver error.
+  const check::LintReport lint = check::lint_model(outer);
+  if (lint.has_errors()) {
+    MO_LOG(Error) << "KKT-materialized model failed lint:\n"
+                  << lint.to_string();
+  }
+#endif
   return out;
 }
 

@@ -1,5 +1,7 @@
 #include "lp/presolve.h"
 
+#include "util/tolerances.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -110,14 +112,14 @@ PresolveResult presolve(const Model& model, const PresolveOptions& options,
             const double slack = con.rhs - rest_lo;
             if (coef > 0.0) {
               const double new_ub = slack / coef;
-              if (new_ub < result.ub[v] - 1e-7) {
+              if (new_ub < result.ub[v] - tol::kFeasTol) {
                 result.ub[v] = new_ub;
                 ++result.tightenings;
                 changed = true;
               }
             } else {
               const double new_lb = slack / coef;
-              if (new_lb > result.lb[v] + 1e-7) {
+              if (new_lb > result.lb[v] + tol::kFeasTol) {
                 result.lb[v] = new_lb;
                 ++result.tightenings;
                 changed = true;
@@ -133,14 +135,14 @@ PresolveResult presolve(const Model& model, const PresolveOptions& options,
             const double need = con.rhs - rest_hi;
             if (coef > 0.0) {
               const double new_lb = need / coef;
-              if (new_lb > result.lb[v] + 1e-7) {
+              if (new_lb > result.lb[v] + tol::kFeasTol) {
                 result.lb[v] = new_lb;
                 ++result.tightenings;
                 changed = true;
               }
             } else {
               const double new_ub = need / coef;
-              if (new_ub < result.ub[v] - 1e-7) {
+              if (new_ub < result.ub[v] - tol::kFeasTol) {
                 result.ub[v] = new_ub;
                 ++result.tightenings;
                 changed = true;

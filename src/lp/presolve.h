@@ -14,12 +14,13 @@
 #include <vector>
 
 #include "lp/model.h"
+#include "util/tolerances.h"
 
 namespace metaopt::lp {
 
 struct PresolveOptions {
   int max_rounds = 10;
-  double tol = 1e-9;
+  double tol = ::metaopt::tol::kPresolveTol;  // member name shadows the ns
   /// Round tightened binary bounds to exact integers.
   bool round_binaries = true;
 };

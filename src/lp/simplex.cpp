@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "check/certify.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -276,14 +277,30 @@ class Tableau {
 }  // namespace
 
 Solution SimplexSolver::solve(const Model& model) const {
-  return solve_standard(StandardForm::build(model), model);
+  Solution sol = solve_standard(StandardForm::build(model), model);
+  maybe_certify(model, sol, nullptr, nullptr);
+  return sol;
 }
 
 Solution SimplexSolver::solve_with_bounds(const Model& model,
                                           const std::vector<double>& lb,
                                           const std::vector<double>& ub) const {
-  return solve_standard(StandardForm::build(model, lb.data(), ub.data()),
-                        model);
+  Solution sol = solve_standard(StandardForm::build(model, lb.data(), ub.data()),
+                                model);
+  maybe_certify(model, sol, &lb, &ub);
+  return sol;
+}
+
+void SimplexSolver::maybe_certify(const Model& model, Solution& sol,
+                                  const std::vector<double>* lb,
+                                  const std::vector<double>* ub) const {
+  if (!options_.certify || sol.status != SolveStatus::Optimal) return;
+  const check::Certificate cert = check::certify_lp(
+      model, sol, check::CertifyOptions::for_lp(options_), lb, ub);
+  sol.certified = cert.ok;
+  if (!cert.ok) {
+    MO_LOG(Error) << "LP certification FAILED: " << cert.to_string();
+  }
 }
 
 Solution SimplexSolver::solve_standard(const StandardForm& sf,

@@ -13,17 +13,30 @@
 #include "lp/model.h"
 #include "lp/solution.h"
 #include "lp/standard_form.h"
+#include "util/tolerances.h"
 
 namespace metaopt::lp {
+
+/// True in Debug builds: solver hooks certify every optimal solution by
+/// default there, while Release keeps certification opt-in.
+#ifndef NDEBUG
+inline constexpr bool kCertifyByDefault = true;
+#else
+inline constexpr bool kCertifyByDefault = false;
+#endif
 
 struct SimplexOptions {
   long max_iterations = 200000;
   double time_limit_seconds = 1e30;
-  double pivot_tol = 1e-9;   ///< minimum magnitude for a pivot element
-  double feas_tol = 1e-7;    ///< phase-1 residual treated as feasible
-  double cost_tol = 1e-9;    ///< reduced-cost optimality tolerance
+  double pivot_tol = tol::kPivotTol;  ///< min magnitude for a pivot element
+  double feas_tol = tol::kFeasTol;    ///< phase-1 residual treated as feasible
+  double cost_tol = tol::kCostTol;    ///< reduced-cost optimality tolerance
   long stall_limit = 2000;   ///< degenerate pivots before Bland's rule
   bool want_duals = true;
+  /// Run check::certify_lp on every Optimal solve and record the outcome
+  /// in Solution::certified (failures are logged at Error level). On by
+  /// default in Debug builds, opt-in for Release.
+  bool certify = kCertifyByDefault;
 };
 
 class SimplexSolver {
@@ -43,6 +56,13 @@ class SimplexSolver {
 
  private:
   Solution solve_standard(const StandardForm& sf, const Model& model) const;
+
+  /// When options_.certify is set, runs check::certify_lp on an Optimal
+  /// `sol` against `model` (with `lb`/`ub` overriding the model bounds
+  /// when non-null) and records the verdict in sol.certified.
+  void maybe_certify(const Model& model, Solution& sol,
+                     const std::vector<double>* lb,
+                     const std::vector<double>* ub) const;
 
   SimplexOptions options_;
 };

@@ -10,11 +10,14 @@ namespace metaopt::lp {
 /// Result of an LP or MIP solve. `values` is indexed by VarId of the
 /// solved Model. For LP solves, `duals` (indexed by ConId) and
 /// `reduced_costs` (indexed by VarId) are populated when the solve is
-/// Optimal; sign convention: for a minimization problem, duals of
-/// LessEqual rows are <= 0 ... we use the convention that the Lagrangian
-/// is  c'x + sum_i y_i (a_i'x - b_i), so y_i >= 0 for GreaterEqual rows,
-/// y_i <= 0 for LessEqual rows under Minimize, and strong duality reads
-/// obj = sum_i y_i b_i + contributions of active variable bounds.
+/// Optimal. Sign convention (verified empirically; see check/certify.h):
+/// duals are multipliers of the internally *minimized* problem with
+/// every row canonicalized as g(x) <= 0, i.e. the Lagrangian is
+///   s*c'x + sum_i y_i g_i(x),  s = +1 Minimize / -1 Maximize,
+/// with g_i = a_i'x - b_i for LessEqual and b_i - a_i'x for GreaterEqual
+/// rows — so inequality duals are >= 0 for BOTH senses, regardless of
+/// objective sense. Equality duals are free and enter stationarity with
+/// dg/dx = -a_i.
 struct Solution {
   SolveStatus status = SolveStatus::Error;
   double objective = 0.0;
@@ -31,6 +34,12 @@ struct Solution {
 
   /// Wall-clock seconds spent inside the solver.
   double solve_seconds = 0.0;
+
+  /// True when the solve was independently certified (check::certify_lp /
+  /// certify_mip) and passed; false when certification ran and failed OR
+  /// was never requested. Only meaningful when the solver ran with
+  /// certification enabled (SimplexOptions::certify / MipOptions::certify).
+  bool certified = false;
 
   [[nodiscard]] bool is_optimal() const {
     return status == SolveStatus::Optimal;

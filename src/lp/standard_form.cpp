@@ -3,10 +3,12 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/tolerances.h"
+
 namespace metaopt::lp {
 
 namespace {
-constexpr double kFixTol = 1e-12;
+constexpr double kFixTol = tol::kFixTol;
 }
 
 StandardForm StandardForm::build(const Model& model, const double* lbs,

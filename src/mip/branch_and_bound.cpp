@@ -5,9 +5,12 @@
 #include <memory>
 #include <queue>
 
+#include "check/certify.h"
+#include "check/lint.h"
 #include "lp/presolve.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/tolerances.h"
 
 namespace metaopt::mip {
 
@@ -77,6 +80,13 @@ Solution BranchAndBound::solve(const Model& model,
   util::Stopwatch watch;
   model.validate();
 
+  if (options_.certify) {
+    const check::LintReport lint = check::lint_model(model);
+    if (lint.has_errors()) {
+      MO_LOG(Error) << "B&B input model failed lint:\n" << lint.to_string();
+    }
+  }
+
   const bool maximize = model.objective_sense() == lp::ObjSense::Maximize;
   const double dir = maximize ? 1.0 : -1.0;  // larger dir*obj is better
 
@@ -116,7 +126,7 @@ Solution BranchAndBound::solve(const Model& model,
   for (const auto& [obj, values] : callbacks.initial_incumbents) {
     bool ok = values.size() == static_cast<std::size_t>(model.num_vars());
     if (ok && callbacks.verify_heuristic) {
-      ok = model.max_violation(values) <= 1e-4;
+      ok = model.max_violation(values) <= tol::kAssembledPointTol;
     }
     if (ok) {
       accept_incumbent(obj, values);
@@ -199,7 +209,7 @@ Solution BranchAndBound::solve(const Model& model,
     // Skip nodes whose bound fixings became contradictory.
     bool box_empty = false;
     for (VarId v = 0; v < model.num_vars() && !box_empty; ++v) {
-      if (lbs[v] > ubs[v] + 1e-12) box_empty = true;
+      if (lbs[v] > ubs[v] + tol::kFixTol) box_empty = true;
     }
     if (box_empty) continue;
 
@@ -319,7 +329,7 @@ Solution BranchAndBound::solve(const Model& model,
           // carry simplex-tolerance noise through stationarity sums.
           ok = cand->second.size() ==
                    static_cast<std::size_t>(model.num_vars()) &&
-               model.max_violation(cand->second) <= 1e-4;
+               model.max_violation(cand->second) <= tol::kAssembledPointTol;
         }
         if (ok) accept_incumbent(cand->first, cand->second);
       }
@@ -358,7 +368,13 @@ Solution BranchAndBound::solve(const Model& model,
       best.status = stop_reason == SolveStatus::TimeLimit
                         ? SolveStatus::TimeLimit
                         : SolveStatus::Feasible;
-      best.best_bound = queue.empty() ? incumbent_obj : best_open_bound;
+      // best_open_bound is the score of the last popped node and can sit
+      // on the wrong side of the incumbent when the incumbent came from a
+      // better subtree; the incumbent itself is always a valid bound.
+      best.best_bound =
+          queue.empty()
+              ? incumbent_obj
+              : dir * std::max(dir * best_open_bound, dir * incumbent_obj);
     } else {
       best.status = SolveStatus::Optimal;
       best.best_bound = incumbent_obj;
@@ -368,6 +384,16 @@ Solution BranchAndBound::solve(const Model& model,
     best.best_bound = best_open_bound;
   } else {
     best.status = SolveStatus::Infeasible;
+  }
+  // has_solution() includes time-limit stops with no incumbent; only
+  // certify when an actual point was produced.
+  if (options_.certify && best.has_solution() && !best.values.empty()) {
+    const check::Certificate cert =
+        check::certify_mip(model, best, check::CertifyOptions::for_mip(options_));
+    best.certified = cert.ok;
+    if (!cert.ok) {
+      MO_LOG(Error) << "MIP certification FAILED: " << cert.to_string();
+    }
   }
   return best;
 }

@@ -32,10 +32,10 @@ namespace metaopt::mip {
 struct MipOptions {
   double time_limit_seconds = 60.0;
   long max_nodes = 100000000;
-  double rel_gap = 1e-6;       ///< relative incumbent/bound gap to stop
-  double abs_gap = 1e-7;       ///< absolute gap to stop
-  double int_tol = 1e-6;       ///< integrality tolerance for binaries
-  double compl_tol = 1e-6;     ///< complementarity product tolerance
+  double rel_gap = tol::kRelGap;     ///< relative incumbent/bound gap to stop
+  double abs_gap = tol::kAbsGap;     ///< absolute gap to stop
+  double int_tol = tol::kIntTol;     ///< integrality tolerance for binaries
+  double compl_tol = tol::kComplTol; ///< complementarity product tolerance
   /// Stop if the incumbent improved by less than progress_min_improvement
   /// (relative) during the last progress_window_seconds (§3.3).
   double progress_window_seconds = 1e30;
@@ -47,6 +47,11 @@ struct MipOptions {
   /// infeasible nodes without an LP solve and shrinks node LPs by fixing
   /// variables (big-M indicator rows propagate well).
   bool use_presolve = true;
+  /// Lint the model before the search and run check::certify_mip on the
+  /// final incumbent, recording the outcome in Solution::certified
+  /// (failures are logged at Error level). On by default in Debug
+  /// builds, opt-in for Release.
+  bool certify = lp::kCertifyByDefault;
   lp::SimplexOptions lp;
 };
 

@@ -3,6 +3,7 @@
 
 #include <cmath>
 
+#include "check/lint.h"
 #include "kkt/kkt_rewriter.h"
 #include "lp/simplex.h"
 #include "mip/branch_and_bound.h"
@@ -110,6 +111,12 @@ TEST(Kkt, FeasiblePointIsInnerOptimal) {
         sol.values[x1.id] + sol.values[x2.id];
     EXPECT_NEAR(kkt_obj, ref.objective, 1e-6) << "t=" << t;
     (void)art;
+
+    // The KKT-materialized system must be lint-clean: any NaN, inverted
+    // bound, or degenerate pair here means the rewriter is emitting
+    // malformed rows.
+    const check::LintReport lint = check::lint_model(outer);
+    EXPECT_FALSE(lint.has_errors()) << lint.to_string();
   }
 }
 

@@ -147,8 +147,20 @@ TEST(GapBound, PopBoundDominatesFoundGap) {
   const GapBounder bounder(topo, paths);
   const GapBoundResult bound = bounder.bound_pop_gap(pop, seeds,
                                                      bound_options);
+  // Sanitizer builds run the solver an order of magnitude slower, so the
+  // time-limited bounding solve may stop before finding an incumbent.
+  // best_bound (and hence upper_bound) is proven regardless — it starts
+  // at the root relaxation score — so the dominance check below stays
+  // valid; only the status assertion is relaxed there.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  const bool accept_time_limit = true;
+#else
+  const bool accept_time_limit = false;
+#endif
   ASSERT_TRUE(bound.status == lp::SolveStatus::Optimal ||
-              bound.status == lp::SolveStatus::Feasible);
+              bound.status == lp::SolveStatus::Feasible ||
+              (accept_time_limit &&
+               bound.status == lp::SolveStatus::TimeLimit));
   EXPECT_GE(bound.upper_bound, found.gap - 1e-4);
   // The bounding model has no complementarity pairs at all.
   EXPECT_EQ(bound.stats.num_complementarities, 0);

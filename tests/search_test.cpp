@@ -45,7 +45,10 @@ TEST(HillClimb, FindsPositiveGapOnFig1) {
 
 TEST(HillClimb, DeterministicForFixedSeed) {
   Fig1Fixture f;
-  SearchOptions o = quick_options(0.2, 7);
+  // Bound both runs by evaluation count, not wall clock: a clock cutoff
+  // truncates the two runs at different points under slow (sanitizer)
+  // builds and breaks determinism.
+  SearchOptions o = quick_options(30.0, 7);
   o.max_evaluations = 400;
   te::DpGapOracle o1(f.topo, f.paths, f.config);
   te::DpGapOracle o2(f.topo, f.paths, f.config);

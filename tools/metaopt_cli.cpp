@@ -16,6 +16,7 @@
 //   --pairs N          restrict adversarial support to ~N pairs
 //   --demand-ub U      demand box upper bound      (default max capacity)
 //   --seed S           RNG seed                    (default 1)
+//   --certify          independently certify every solve (find/bound)
 //   --csv FILE         append a result row to FILE
 #include <cstdio>
 #include <cstdlib>
@@ -62,7 +63,9 @@ Args parse_args(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0) {
       const std::string key = arg.substr(2);
-      if (i + 1 < argc) {
+      // A following token that is itself a flag means this one is a
+      // boolean switch (e.g. --certify), not a key/value pair.
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
         args.flags[key] = argv[++i];
       } else {
         args.flags[key] = "1";
@@ -128,6 +131,10 @@ int cmd_find(const Args& args) {
   core::AdversarialGapFinder finder(topo, paths);
   core::AdversarialOptions options;
   options.mip.time_limit_seconds = args.get_num("budget", 30.0);
+  if (args.flags.count("certify") > 0) {
+    options.mip.certify = true;
+    options.mip.lp.certify = true;
+  }
   options.seed_search_seconds = options.mip.time_limit_seconds * 0.3;
   options.demand_ub = args.get_num("demand-ub", 0.0);
   options.pair_mask =
@@ -162,6 +169,9 @@ int cmd_find(const Args& args) {
                   ? util::format_double(result.bound).c_str()
                   : "open");
   std::printf("nodes:       %ld in %.1fs\n", result.nodes, result.seconds);
+  if (args.flags.count("certify") > 0) {
+    std::printf("certified:   %s\n", result.certified ? "yes" : "NO");
+  }
   std::printf("model:       %d vars, %d rows, %d SOS, %d binaries\n",
               result.stats.num_vars, result.stats.num_constraints,
               result.stats.num_complementarities, result.stats.num_binaries);
@@ -190,6 +200,10 @@ int cmd_bound(const Args& args) {
   core::GapBounder bounder(topo, paths);
   core::AdversarialOptions options;
   options.mip.time_limit_seconds = args.get_num("budget", 30.0);
+  if (args.flags.count("certify") > 0) {
+    options.mip.certify = true;
+    options.mip.lp.certify = true;
+  }
   options.demand_ub = args.get_num("demand-ub", 0.0);
   options.pair_mask =
       make_mask(paths, static_cast<int>(args.get_num("pairs", 0)));
@@ -216,6 +230,9 @@ int cmd_bound(const Args& args) {
   std::printf("solve time:   %.2fs (model: %d vars, %d rows, 0 SOS)\n",
               result.seconds, result.stats.num_vars,
               result.stats.num_constraints);
+  if (args.flags.count("certify") > 0) {
+    std::printf("certified:    %s\n", result.certified ? "yes" : "NO");
+  }
   maybe_csv(args, "bound", heuristic, result.upper_bound,
             result.normalized_upper_bound, result.seconds);
   return 0;
