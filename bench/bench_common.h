@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cstdlib>
+#include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "net/topologies.h"
@@ -29,9 +31,20 @@ inline double budget_scale() {
 
 inline double scaled(double seconds) { return seconds * budget_scale(); }
 
+/// Worker threads for sweep-based benches: METAOPT_BENCH_THREADS, or all
+/// hardware threads by default.
+inline int bench_threads() {
+  if (const char* env = std::getenv("METAOPT_BENCH_THREADS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
 /// CSV sink under bench_results/ (created on demand).
 inline util::CsvWriter csv(const std::string& figure) {
-  std::system("mkdir -p bench_results");
+  std::filesystem::create_directories("bench_results");
   return util::CsvWriter("bench_results/" + figure + ".csv",
                          "figure,series,x,y,extra");
 }
@@ -42,7 +55,9 @@ inline util::CsvWriter csv(const std::string& figure) {
 /// paper's own §3 scalability caveat); see EXPERIMENTS.md.
 inline std::vector<bool> spread_mask(int num_pairs, int target) {
   std::vector<bool> mask(num_pairs, false);
-  if (target >= num_pairs) {
+  // A non-positive target means "no restriction" (mirrors the CLI's
+  // --pairs 0); it must not reach the stride division below.
+  if (target <= 0 || target >= num_pairs) {
     mask.assign(num_pairs, true);
     return mask;
   }

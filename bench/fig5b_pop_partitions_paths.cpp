@@ -5,10 +5,16 @@
 // ways, so more of it can be stranded in the wrong partition); more
 // paths per pair => somewhat smaller gap (extra paths let the heuristic
 // reach fragmented capacity).
+//
+// Both axes are SweepSpecs executed in parallel by SweepRunner
+// (METAOPT_BENCH_THREADS workers, default all hardware threads). POP
+// instantiation seeds come off each job's spec-derived splitmix stream,
+// so a given grid cell reproduces exactly across reruns and thread
+// counts. Per-job reports land in bench_results/fig5b.jsonl.
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
-#include "core/adversarial.h"
+#include "runner/sweep_runner.h"
 
 namespace {
 
@@ -17,56 +23,60 @@ using namespace metaopt;
 constexpr double kBudget = 30.0;
 constexpr int kMaskPairs = 40;
 
-void run_config(benchmark::State& state, int partitions, int paths_per_pair,
-                const std::string& series) {
-  const net::Topology topo = net::topologies::b4();
-  const te::PathSet paths(topo, te::all_pairs(topo), paths_per_pair);
-  core::AdversarialGapFinder finder(topo, paths);
+runner::SweepSpec base_spec() {
+  runner::SweepSpec spec;
+  spec.topologies = {"b4"};
+  spec.heuristics = {runner::Heuristic::Pop};
+  spec.pop_instances = 3;
+  spec.pairs = kMaskPairs;
+  spec.budget_seconds = bench::scaled(kBudget);
+  spec.deterministic = false;  // keep the black-box seeding pass
+  return spec;
+}
 
-  te::PopConfig pop;
-  pop.num_partitions = partitions;
-  const std::vector<std::uint64_t> seeds{1, 2, 3};
+void run_sweep(benchmark::State& state, const runner::SweepSpec& spec,
+               const std::string& series, bool x_is_partitions) {
+  runner::SweepOptions options;
+  options.threads = bench::bench_threads();
 
-  core::AdversarialOptions options;
-  options.mip.time_limit_seconds = bench::scaled(kBudget);
-  options.seed_search_seconds = bench::scaled(kBudget) * 0.3;
-  options.pair_mask = bench::spread_mask(paths.num_pairs(), kMaskPairs);
-
-  double norm_gap = 0.0;
   for (auto _ : state) {
-    const core::AdversarialResult r = finder.find_pop_gap(pop, seeds, options);
-    norm_gap = r.normalized_gap;
+    const runner::SweepReport report = runner::SweepRunner(options).run(spec);
     auto out = bench::csv("fig5b");
-    const double x = series == "partitions" ? partitions : paths_per_pair;
-    out.row("fig5b", series, x, norm_gap, "");
+    double norm_gap = 0.0;
+    for (const runner::JobResult& job : report.jobs) {
+      const double x = x_is_partitions
+                           ? static_cast<double>(job.spec.num_partitions)
+                           : static_cast<double>(job.spec.paths_per_pair);
+      out.row("fig5b", series, x, job.result.normalized_gap, "");
+      norm_gap = job.result.normalized_gap;
+    }
+    report.write_jsonl("bench_results/fig5b_" + series + ".jsonl");
+    state.counters["ok"] = report.num_ok;
+    state.counters["failed"] = report.num_failed + report.num_timeout;
+    state.counters["norm_gap"] = norm_gap;
   }
-  state.counters["norm_gap"] = norm_gap;
-  state.SetLabel("partitions=" + std::to_string(partitions) +
-                 " paths=" + std::to_string(paths_per_pair));
+  state.SetLabel(series + " sweep on " + std::to_string(options.threads) +
+                 " threads");
 }
 
 /// Partition sweep at 2 paths per pair.
 void Fig5b_Partitions(benchmark::State& state) {
-  run_config(state, static_cast<int>(state.range(0)), 2, "partitions");
+  runner::SweepSpec spec = base_spec();
+  spec.partitions = {2, 4, 8};
+  spec.paths_per_pair = {2};
+  run_sweep(state, spec, "partitions", /*x_is_partitions=*/true);
 }
 
 /// Path sweep at 2 partitions.
 void Fig5b_Paths(benchmark::State& state) {
-  run_config(state, 2, static_cast<int>(state.range(0)), "paths");
+  runner::SweepSpec spec = base_spec();
+  spec.partitions = {2};
+  spec.paths_per_pair = {1, 2, 4};
+  run_sweep(state, spec, "paths", /*x_is_partitions=*/false);
 }
 
-BENCHMARK(Fig5b_Partitions)
-    ->Unit(benchmark::kSecond)
-    ->Iterations(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8);
-BENCHMARK(Fig5b_Paths)
-    ->Unit(benchmark::kSecond)
-    ->Iterations(1)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4);
+BENCHMARK(Fig5b_Partitions)->Unit(benchmark::kSecond)->Iterations(1);
+BENCHMARK(Fig5b_Paths)->Unit(benchmark::kSecond)->Iterations(1);
 
 }  // namespace
 

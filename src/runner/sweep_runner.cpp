@@ -1,0 +1,279 @@
+#include "runner/sweep_runner.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "net/topologies.h"
+#include "net/topology_io.h"
+#include "runner/thread_pool.h"
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace metaopt::runner {
+
+namespace {
+
+net::Topology load_topology(const std::string& spec) {
+  if (spec == "b4") return net::topologies::b4();
+  if (spec == "abilene") return net::topologies::abilene();
+  if (spec == "swan") return net::topologies::swan();
+  if (spec == "fig1") return net::topologies::fig1();
+  return net::read_topology_file(spec);
+}
+
+std::vector<bool> make_mask(int num_pairs, int target) {
+  std::vector<bool> mask;
+  if (target <= 0 || target >= num_pairs) return mask;  // empty = all pairs
+  mask.assign(num_pairs, false);
+  const int stride = std::max(1, num_pairs / target);
+  int enabled = 0;
+  for (int k = 0; k < num_pairs && enabled < target; k += stride) {
+    mask[k] = true;
+    ++enabled;
+  }
+  return mask;
+}
+
+// Fixed shortest-exact formatting so identical doubles always serialize
+// to identical bytes (the JSONL determinism contract).
+std::string json_number(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string json_string(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::Ok: return "ok";
+    case JobStatus::Timeout: return "timeout";
+    case JobStatus::Failed: return "failed";
+  }
+  return "?";
+}
+
+std::string to_json(const JobResult& r) {
+  const JobSpec& s = r.spec;
+  const core::AdversarialResult& a = r.result;
+  std::string out = "{";
+  const auto field = [&out](const std::string& key, const std::string& value) {
+    if (out.size() > 1) out += ",";
+    out += "\"" + key + "\":" + value;
+  };
+  field("job", std::to_string(s.id));
+  field("topology", json_string(s.topology));
+  field("heuristic", json_string(to_string(s.heuristic)));
+  field("threshold", json_number(s.threshold));
+  field("partitions", std::to_string(s.num_partitions));
+  field("paths", std::to_string(s.paths_per_pair));
+  field("seed", std::to_string(s.seed));
+  field("stream_seed", std::to_string(s.stream_seed));
+  field("instances", std::to_string(s.pop_instances));
+  field("pairs", std::to_string(s.pairs));
+  field("budget", json_number(s.budget_seconds));
+  field("status", json_string(to_string(r.status)));
+  field("solve_status", json_string(lp::to_string(a.status)));
+  field("error", json_string(r.error));
+  field("gap", json_number(a.gap));
+  field("norm_gap", json_number(a.normalized_gap));
+  field("opt", json_number(a.opt_value));
+  field("heur", json_number(a.heur_value));
+  field("bound", json_number(a.bound));
+  field("certified", a.certified ? "true" : "false");
+  field("nodes", std::to_string(a.nodes));
+  field("vars", std::to_string(a.stats.num_vars));
+  field("rows", std::to_string(a.stats.num_constraints));
+  field("sos", std::to_string(a.stats.num_complementarities));
+  field("binaries", std::to_string(a.stats.num_binaries));
+  field("nonzeros", std::to_string(a.stats.num_nonzeros));
+  // Wall-time fields stay last so campaign diffs can strip them by
+  // truncating at "solve_seconds".
+  field("solve_seconds", json_number(a.seconds));
+  field("wall_seconds", json_number(r.wall_seconds));
+  out += "}";
+  return out;
+}
+
+std::string SweepReport::jsonl() const {
+  std::string out;
+  for (const JobResult& job : jobs) {
+    out += to_json(job);
+    out += "\n";
+  }
+  return out;
+}
+
+void SweepReport::write_jsonl(const std::string& path) const {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << jsonl();
+}
+
+void SweepReport::write_csv(const std::string& path,
+                            const std::string& figure) const {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  util::CsvWriter out(path, "figure,series,x,y,extra");
+  for (const JobResult& job : jobs) {
+    out.row(figure, job.spec.topology + "/" + to_string(job.spec.heuristic),
+            job.spec.axis_value(), job.result.normalized_gap, job.result.gap);
+  }
+}
+
+SweepRunner::SweepRunner(SweepOptions options) : options_(std::move(options)) {}
+
+core::AdversarialResult SweepRunner::execute_job(const JobSpec& job) {
+  const net::Topology topo = load_topology(job.topology);
+  const te::PathSet paths(topo, te::all_pairs(topo), job.paths_per_pair);
+  const core::AdversarialGapFinder finder(topo, paths);
+
+  core::AdversarialOptions options;
+  options.mip.time_limit_seconds = job.budget_seconds;
+  options.demand_ub = job.demand_ub;
+  options.pair_mask = make_mask(paths.num_pairs(), job.pairs);
+  options.mip.certify = job.certify;
+  options.mip.lp.certify = job.certify;
+  // The black-box seeding pass is wall-clock budgeted, so its incumbents
+  // (and through them the B&B node count) depend on machine load; a
+  // deterministic job trades it away for byte-reproducibility.
+  options.seed_search_seconds =
+      job.deterministic ? 0.0 : 0.3 * job.budget_seconds;
+
+  if (job.heuristic == Heuristic::Dp) {
+    te::DpConfig dp;
+    dp.threshold = job.threshold;
+    return finder.find_dp_gap(dp, options);
+  }
+  te::PopConfig pop;
+  pop.num_partitions = job.num_partitions;
+  // Instantiation seeds come off the job's splitmix stream: identical
+  // for any rerun of the same spec, decorrelated across jobs.
+  std::uint64_t state = job.stream_seed;
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(static_cast<std::size_t>(job.pop_instances));
+  for (int r = 0; r < job.pop_instances; ++r) {
+    seeds.push_back(util::splitmix64(state));
+  }
+  return finder.find_pop_gap(pop, seeds, options);
+}
+
+SweepReport SweepRunner::run(const SweepSpec& spec) const {
+  return run_jobs(expand_spec(spec), &SweepRunner::execute_job);
+}
+
+SweepReport SweepRunner::run_jobs(const std::vector<JobSpec>& jobs,
+                                  const JobFn& fn) const {
+  util::Stopwatch campaign_watch;
+  SweepReport report;
+  report.jobs.resize(jobs.size());
+
+  ThreadPool pool(options_.threads);
+  report.threads = pool.num_threads();
+
+  std::mutex progress_mutex;
+  int completed = 0;
+  const int total = static_cast<int>(jobs.size());
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    pool.submit([&, i] {
+      // Each job owns slot i outright; only the progress bookkeeping is
+      // shared. A throw is contained here — the campaign never dies.
+      JobResult& slot = report.jobs[i];
+      slot.spec = jobs[i];
+      util::Stopwatch watch;
+      try {
+        slot.result = fn(jobs[i]);
+        // The B&B reports TimeLimit even when it carries a budget-bounded
+        // incumbent; only an *incumbent-less* budget exhaustion is a
+        // timeout — everything with a genuine adversarial input is ok.
+        if (slot.result.status == lp::SolveStatus::Error) {
+          slot.status = JobStatus::Failed;
+          slot.error = "solver error";
+        } else if (slot.result.status == lp::SolveStatus::TimeLimit &&
+                   !slot.result.has_solution()) {
+          slot.status = JobStatus::Timeout;
+        } else {
+          slot.status = JobStatus::Ok;
+        }
+      } catch (const std::exception& e) {
+        slot.status = JobStatus::Failed;
+        slot.error = e.what();
+      } catch (...) {
+        slot.status = JobStatus::Failed;
+        slot.error = "unknown exception";
+      }
+      slot.wall_seconds = watch.seconds();
+
+      std::lock_guard<std::mutex> lock(progress_mutex);
+      ++completed;
+      if (options_.log_progress) {
+        MO_LOG(Info) << "[sweep] " << completed << "/" << total << " job "
+                     << slot.spec.id << " (" << to_string(slot.spec.heuristic)
+                     << " " << slot.spec.topology << " x="
+                     << slot.spec.axis_value() << ") " << to_string(slot.status)
+                     << " gap=" << slot.result.gap << " in " << slot.wall_seconds
+                     << "s";
+      }
+      if (options_.on_progress) options_.on_progress(slot, completed, total);
+    });
+  }
+  pool.wait_idle();
+
+  // Slots are already in expansion order (== sorted by job id); keep the
+  // sort anyway so custom job lists with shuffled ids aggregate
+  // deterministically too.
+  std::sort(report.jobs.begin(), report.jobs.end(),
+            [](const JobResult& a, const JobResult& b) {
+              return a.spec.id < b.spec.id;
+            });
+  for (const JobResult& job : report.jobs) {
+    switch (job.status) {
+      case JobStatus::Ok: ++report.num_ok; break;
+      case JobStatus::Timeout: ++report.num_timeout; break;
+      case JobStatus::Failed: ++report.num_failed; break;
+    }
+  }
+  report.wall_seconds = campaign_watch.seconds();
+  if (options_.log_progress) {
+    MO_LOG(Info) << "[sweep] campaign done: " << report.num_ok << " ok, "
+                 << report.num_timeout << " timeout, " << report.num_failed
+                 << " failed on " << report.threads << " threads in "
+                 << report.wall_seconds << "s";
+  }
+  return report;
+}
+
+}  // namespace metaopt::runner

@@ -1,0 +1,102 @@
+// Parallel, deterministic executor for SweepSpec campaigns.
+//
+// Jobs are independent single-shot MetaOpt solves — embarrassingly
+// parallel (the POP insight of Narayanan et al., SOSP '21, applied to
+// our own harness) — so SweepRunner fans them out over a work-stealing
+// ThreadPool with per-job fault isolation: a job that throws is recorded
+// as `failed` (with the exception message), a job whose solver gave up
+// without an incumbent is `timeout`, and neither ever takes down the
+// campaign or poisons a sibling's slot.
+//
+// Determinism: each job writes into its own pre-allocated result slot,
+// aggregation sorts by job id, every double is printed with a fixed
+// "%.17g" format, and per-job randomness comes from the spec-derived
+// stream seed — so the JSONL payload is byte-identical regardless of
+// thread count or scheduling order, except for the wall-time fields
+// (`solve_seconds`, `wall_seconds`), which are placed last in each
+// record so they are trivial to strip when diffing campaigns.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/adversarial.h"
+#include "runner/sweep_spec.h"
+
+namespace metaopt::runner {
+
+enum class JobStatus {
+  Ok,       ///< solver returned a result (optimal or budget-bounded incumbent)
+  Timeout,  ///< budget exhausted with no incumbent at all
+  Failed,   ///< the job threw; see JobResult::error
+};
+
+const char* to_string(JobStatus status);
+
+struct JobResult {
+  JobSpec spec;
+  JobStatus status = JobStatus::Failed;
+  std::string error;                ///< exception message when Failed
+  core::AdversarialResult result;   ///< valid unless Failed
+  double wall_seconds = 0.0;        ///< job wall time inside the pool
+};
+
+struct SweepReport {
+  std::vector<JobResult> jobs;  ///< sorted by spec.id
+  int num_ok = 0;
+  int num_timeout = 0;
+  int num_failed = 0;
+  int threads = 1;
+  double wall_seconds = 0.0;  ///< whole-campaign wall time
+
+  /// One JSON record per job, newline-terminated, sorted by job id.
+  [[nodiscard]] std::string jsonl() const;
+
+  /// Writes jsonl() to `path` (parent directories created).
+  void write_jsonl(const std::string& path) const;
+
+  /// Appends `figure,series,x,y,extra` rows (the existing bench CSV
+  /// shape): series = "<topology>/<heuristic>", x = the swept axis
+  /// (threshold or partitions), y = normalized gap, extra = raw gap.
+  void write_csv(const std::string& path, const std::string& figure) const;
+};
+
+/// Serializes one job result as a single-line JSON object (no trailing
+/// newline). Wall-time fields come last.
+std::string to_json(const JobResult& result);
+
+struct SweepOptions {
+  /// Worker threads; <= 0 means hardware_concurrency().
+  int threads = 0;
+  /// Invoked after each job completes (from worker threads, serialized
+  /// by the runner): (result, completed, total).
+  std::function<void(const JobResult&, int, int)> on_progress;
+  /// Log one Info line per completed job and a campaign summary.
+  bool log_progress = true;
+};
+
+class SweepRunner {
+ public:
+  using JobFn = std::function<core::AdversarialResult(const JobSpec&)>;
+
+  explicit SweepRunner(SweepOptions options = {});
+
+  /// Expands the spec and executes every job with the real solver stack.
+  [[nodiscard]] SweepReport run(const SweepSpec& spec) const;
+
+  /// Executes pre-expanded jobs through a custom job body (tests inject
+  /// throwing/fake jobs here; run() uses execute_job).
+  [[nodiscard]] SweepReport run_jobs(const std::vector<JobSpec>& jobs,
+                                     const JobFn& fn) const;
+
+  /// The default job body: builds topology/paths/finder from the spec
+  /// and runs the single-shot adversarial search. Stateless and
+  /// thread-safe; throws on unknown topology.
+  static core::AdversarialResult execute_job(const JobSpec& job);
+
+ private:
+  SweepOptions options_;
+};
+
+}  // namespace metaopt::runner

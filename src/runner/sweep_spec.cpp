@@ -1,0 +1,228 @@
+#include "runner/sweep_spec.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace metaopt::runner {
+
+const char* to_string(Heuristic h) {
+  return h == Heuristic::Dp ? "dp" : "pop";
+}
+
+Heuristic heuristic_from_string(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "dp") return Heuristic::Dp;
+  if (lower == "pop") return Heuristic::Pop;
+  throw std::invalid_argument("unknown heuristic '" + name + "'");
+}
+
+std::vector<JobSpec> expand_spec(const SweepSpec& spec) {
+  if (spec.topologies.empty() || spec.heuristics.empty() ||
+      spec.paths_per_pair.empty() || spec.seeds.empty()) {
+    throw std::invalid_argument("sweep spec: empty grid axis");
+  }
+  if (spec.budget_seconds <= 0.0) {
+    throw std::invalid_argument("sweep spec: budget must be positive");
+  }
+  if (spec.pop_instances <= 0) {
+    throw std::invalid_argument("sweep spec: instances must be positive");
+  }
+
+  std::vector<JobSpec> jobs;
+  int id = 0;
+  const auto push = [&](const std::string& topo, Heuristic h, double threshold,
+                        int num_partitions, int paths, std::uint64_t seed) {
+    if (spec.max_jobs > 0 && static_cast<int>(jobs.size()) >= spec.max_jobs) {
+      return;
+    }
+    JobSpec job;
+    job.id = id++;
+    job.topology = topo;
+    job.heuristic = h;
+    job.threshold = threshold;
+    job.num_partitions = num_partitions;
+    job.paths_per_pair = paths;
+    job.seed = seed;
+    // Mix the seed coordinate in as a second stream index so two jobs
+    // that differ only in `seed` get fully decorrelated streams.
+    job.stream_seed = util::derive_seed(
+        util::derive_seed(spec.base_seed, static_cast<std::uint64_t>(job.id)),
+        seed);
+    job.pop_instances = spec.pop_instances;
+    job.pairs = spec.pairs;
+    job.budget_seconds = spec.budget_seconds;
+    job.demand_ub = spec.demand_ub;
+    job.deterministic = spec.deterministic;
+    job.certify = spec.certify;
+    jobs.push_back(std::move(job));
+  };
+
+  for (const std::string& topo : spec.topologies) {
+    for (Heuristic h : spec.heuristics) {
+      // The heuristic picks its own swept axis; the other one is inert.
+      if (h == Heuristic::Dp) {
+        if (spec.thresholds.empty()) {
+          throw std::invalid_argument("sweep spec: dp axis needs thresholds");
+        }
+        for (double threshold : spec.thresholds) {
+          for (int paths : spec.paths_per_pair) {
+            for (std::uint64_t seed : spec.seeds) {
+              push(topo, h, threshold, 0, paths, seed);
+            }
+          }
+        }
+      } else {
+        if (spec.partitions.empty()) {
+          throw std::invalid_argument("sweep spec: pop axis needs partitions");
+        }
+        for (int parts : spec.partitions) {
+          if (parts <= 0) {
+            throw std::invalid_argument("sweep spec: partitions must be > 0");
+          }
+          for (int paths : spec.paths_per_pair) {
+            for (std::uint64_t seed : spec.seeds) {
+              push(topo, h, 0.0, parts, paths, seed);
+            }
+          }
+        }
+      }
+    }
+  }
+  return jobs;
+}
+
+namespace {
+
+// "2.5,5,10" -> {2.5, 5, 10}; throws on empty/garbage cells.
+std::vector<double> parse_double_list(const std::string& key,
+                                      const std::string& value) {
+  std::vector<double> out;
+  for (const std::string& cell : util::split(value, ',')) {
+    char* end = nullptr;
+    const double v = std::strtod(cell.c_str(), &end);
+    if (cell.empty() || end == nullptr || *end != '\0') {
+      throw std::invalid_argument("sweep spec: bad number '" + cell +
+                                  "' for key '" + key + "'");
+    }
+    out.push_back(v);
+  }
+  if (out.empty()) {
+    throw std::invalid_argument("sweep spec: empty value for key '" + key + "'");
+  }
+  return out;
+}
+
+// "1,2,4" and "1..8" (inclusive) -> integer list.
+std::vector<long long> parse_int_list(const std::string& key,
+                                      const std::string& value) {
+  std::vector<long long> out;
+  for (const std::string& cell : util::split(value, ',')) {
+    const std::size_t dots = cell.find("..");
+    const auto parse_one = [&](const std::string& s) {
+      char* end = nullptr;
+      const long long v = std::strtoll(s.c_str(), &end, 10);
+      if (s.empty() || end == nullptr || *end != '\0') {
+        throw std::invalid_argument("sweep spec: bad integer '" + cell +
+                                    "' for key '" + key + "'");
+      }
+      return v;
+    };
+    if (dots != std::string::npos) {
+      const long long lo = parse_one(cell.substr(0, dots));
+      const long long hi = parse_one(cell.substr(dots + 2));
+      if (hi < lo || hi - lo > 1000000) {
+        throw std::invalid_argument("sweep spec: bad range '" + cell +
+                                    "' for key '" + key + "'");
+      }
+      for (long long v = lo; v <= hi; ++v) out.push_back(v);
+    } else {
+      out.push_back(parse_one(cell));
+    }
+  }
+  if (out.empty()) {
+    throw std::invalid_argument("sweep spec: empty value for key '" + key + "'");
+  }
+  return out;
+}
+
+double parse_scalar(const std::string& key, const std::string& value) {
+  const std::vector<double> list = parse_double_list(key, value);
+  if (list.size() != 1) {
+    throw std::invalid_argument("sweep spec: key '" + key +
+                                "' takes a single value");
+  }
+  return list.front();
+}
+
+}  // namespace
+
+SweepSpec parse_sweep_spec(const std::vector<std::string>& tokens) {
+  SweepSpec spec;
+  for (const std::string& token : tokens) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("sweep spec: expected key=value, got '" +
+                                  token + "'");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "topology" || key == "topologies") {
+      spec.topologies = util::split(value, ',');
+      if (spec.topologies.empty() || value.empty()) {
+        throw std::invalid_argument("sweep spec: empty topology list");
+      }
+    } else if (key == "heuristic" || key == "heuristics") {
+      spec.heuristics.clear();
+      for (const std::string& cell : util::split(value, ',')) {
+        spec.heuristics.push_back(heuristic_from_string(cell));
+      }
+    } else if (key == "threshold" || key == "thresholds") {
+      spec.thresholds = parse_double_list(key, value);
+    } else if (key == "partitions") {
+      spec.partitions.clear();
+      for (long long v : parse_int_list(key, value)) {
+        spec.partitions.push_back(static_cast<int>(v));
+      }
+    } else if (key == "paths") {
+      spec.paths_per_pair.clear();
+      for (long long v : parse_int_list(key, value)) {
+        spec.paths_per_pair.push_back(static_cast<int>(v));
+      }
+    } else if (key == "seed" || key == "seeds") {
+      spec.seeds.clear();
+      for (long long v : parse_int_list(key, value)) {
+        spec.seeds.push_back(static_cast<std::uint64_t>(v));
+      }
+    } else if (key == "instances") {
+      spec.pop_instances = static_cast<int>(parse_scalar(key, value));
+    } else if (key == "pairs") {
+      spec.pairs = static_cast<int>(parse_scalar(key, value));
+    } else if (key == "budget") {
+      spec.budget_seconds = parse_scalar(key, value);
+    } else if (key == "demand-ub") {
+      spec.demand_ub = parse_scalar(key, value);
+    } else if (key == "base-seed") {
+      spec.base_seed = static_cast<std::uint64_t>(parse_scalar(key, value));
+    } else if (key == "deterministic") {
+      spec.deterministic = parse_scalar(key, value) != 0.0;
+    } else if (key == "certify") {
+      spec.certify = parse_scalar(key, value) != 0.0;
+    } else if (key == "max-jobs") {
+      spec.max_jobs = static_cast<int>(parse_scalar(key, value));
+    } else {
+      throw std::invalid_argument("sweep spec: unknown key '" + key + "'");
+    }
+  }
+  return spec;
+}
+
+}  // namespace metaopt::runner

@@ -1,0 +1,110 @@
+#include "runner/thread_pool.h"
+
+#include <utility>
+
+namespace metaopt::runner {
+
+namespace {
+
+// Index of the deque owned by the current thread, or -1 when the
+// current thread is not a worker of any pool. Workers of distinct pools
+// never interleave on one OS thread, so a single slot suffices.
+thread_local int t_worker_index = -1;
+
+}  // namespace
+
+int ThreadPool::default_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = num_threads > 0 ? num_threads : default_threads();
+  deques_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) deques_.push_back(std::make_unique<Deque>());
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  const int self = t_worker_index;
+  std::size_t target;
+  if (self >= 0 && self < static_cast<int>(deques_.size())) {
+    target = static_cast<std::size_t>(self);
+  } else {
+    target = next_deque_.fetch_add(1) % deques_.size();
+  }
+  unfinished_.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lock(deques_[target]->mutex);
+    if (self >= 0) {
+      deques_[target]->tasks.push_front(std::move(task));  // LIFO for owner
+    } else {
+      deques_[target]->tasks.push_back(std::move(task));
+    }
+  }
+  queued_.fetch_add(1);
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop(int self, std::function<void()>& task) {
+  if (queued_.load() == 0) return false;
+  const std::size_t n = deques_.size();
+  // Own deque first (front = most recently pushed by us), then sweep the
+  // siblings and steal from the back (their oldest work) to keep each
+  // owner's hot end undisturbed.
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = (static_cast<std::size_t>(self) + k) % n;
+    Deque& q = *deques_[i];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (q.tasks.empty()) continue;
+    if (k == 0) {
+      task = std::move(q.tasks.front());
+      q.tasks.pop_front();
+    } else {
+      task = std::move(q.tasks.back());
+      q.tasks.pop_back();
+    }
+    queued_.fetch_sub(1);
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(int self) {
+  t_worker_index = self;
+  for (;;) {
+    std::function<void()> task;
+    if (try_pop(self, task)) {
+      task();
+      if (unfinished_.fetch_sub(1) == 1) {
+        // Take the lock before notifying so a waiter that just checked
+        // the predicate cannot miss the wakeup.
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+        idle_cv_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    wake_cv_.wait(lock, [this] { return stop_ || queued_.load() > 0; });
+    if (stop_ && queued_.load() == 0) return;
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(wake_mutex_);
+  idle_cv_.wait(lock, [this] { return unfinished_.load() == 0; });
+}
+
+}  // namespace metaopt::runner

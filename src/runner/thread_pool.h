@@ -1,0 +1,79 @@
+// Work-stealing thread pool for the scenario-sweep engine.
+//
+// Each worker owns a deque: it pushes/pops its own work at the front
+// (LIFO, cache-friendly for nested submits) and steals from the *back*
+// of a sibling's deque when its own runs dry — the classic
+// work-stealing discipline (Blumofe & Leiserson), implemented with
+// per-deque mutexes rather than a lock-free Chase-Lev deque because
+// sweep jobs are seconds-long solver calls: queue overhead is noise,
+// and the simple locking version is trivially ThreadSanitizer-clean.
+//
+// Determinism note: the pool makes no ordering promises — callers that
+// need reproducible output must key results by task identity (see
+// SweepRunner, which writes results into per-job slots and sorts by job
+// id), never by completion order.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace metaopt::runner {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers; <= 0 means hardware_concurrency().
+  explicit ThreadPool(int num_threads = 0);
+
+  /// Drains every submitted task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Safe from any thread, including from inside a
+  /// running task (nested submits land at the front of the submitting
+  /// worker's own deque; external submits are dealt round-robin).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished executing.
+  void wait_idle();
+
+  [[nodiscard]] int num_threads() const {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// hardware_concurrency() with a floor of 1.
+  static int default_threads();
+
+ private:
+  struct Deque {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(int self);
+  bool try_pop(int self, std::function<void()>& task);
+
+  std::vector<std::unique_ptr<Deque>> deques_;
+  std::vector<std::thread> workers_;
+
+  // wake_mutex_ guards stop_ and pairs with both condition variables;
+  // queued_/unfinished_ are additionally atomic so try_pop can check
+  // emptiness without the global lock.
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::condition_variable idle_cv_;
+  bool stop_ = false;
+  std::atomic<long> queued_{0};      ///< submitted, not yet popped
+  std::atomic<long> unfinished_{0};  ///< submitted, not yet completed
+  std::atomic<std::size_t> next_deque_{0};
+};
+
+}  // namespace metaopt::runner

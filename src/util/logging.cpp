@@ -1,13 +1,24 @@
 #include "util/logging.h"
 
+#include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <mutex>
 
 namespace metaopt::util {
 
 namespace {
 
-LogLevel g_level = LogLevel::Warn;
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+// Serializes sink flushes so concurrent LogLines never interleave
+// characters within a line (fprintf is atomic per call on POSIX, but the
+// lock also keeps the ordering sane under sanitizers and future sinks).
+std::mutex& sink_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -29,20 +40,25 @@ double seconds_since_start() {
 
 }  // namespace
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 bool set_log_level(const std::string& name) {
   std::string lower;
   lower.reserve(name.size());
-  for (char c : name) lower.push_back(static_cast<char>(std::tolower(c)));
-  if (lower == "trace") g_level = LogLevel::Trace;
-  else if (lower == "debug") g_level = LogLevel::Debug;
-  else if (lower == "info") g_level = LogLevel::Info;
-  else if (lower == "warn") g_level = LogLevel::Warn;
-  else if (lower == "error") g_level = LogLevel::Error;
-  else if (lower == "off") g_level = LogLevel::Off;
+  for (char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "trace") set_log_level(LogLevel::Trace);
+  else if (lower == "debug") set_log_level(LogLevel::Debug);
+  else if (lower == "info") set_log_level(LogLevel::Info);
+  else if (lower == "warn") set_log_level(LogLevel::Warn);
+  else if (lower == "error") set_log_level(LogLevel::Error);
+  else if (lower == "off") set_log_level(LogLevel::Off);
   else return false;
   return true;
 }
@@ -52,8 +68,11 @@ namespace detail {
 LogLine::LogLine(LogLevel level) : level_(level) {}
 
 LogLine::~LogLine() {
-  std::fprintf(stderr, "[%8.3f] %s %s\n", seconds_since_start(),
-               level_tag(level_), stream_.str().c_str());
+  const double elapsed = seconds_since_start();
+  const std::string line = stream_.str();
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  std::fprintf(stderr, "[%8.3f] %s %s\n", elapsed, level_tag(level_),
+               line.c_str());
 }
 
 }  // namespace detail

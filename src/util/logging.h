@@ -5,6 +5,10 @@
 //
 // The global level defaults to Warn so library code stays quiet inside
 // tests and benchmarks; examples raise it to Info.
+//
+// Thread-safe: the level is atomic and each LogLine flushes its fully
+// formatted line under a sink mutex, so concurrent sweep jobs never
+// interleave characters within a line.
 #pragma once
 
 #include <sstream>
@@ -17,7 +21,7 @@ enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off =
 /// Returns the current global log level.
 LogLevel log_level();
 
-/// Sets the global log level (not thread-safe; call at startup).
+/// Sets the global log level (atomic; safe from any thread).
 void set_log_level(LogLevel level);
 
 /// Parses "trace|debug|info|warn|error|off" (case-insensitive).

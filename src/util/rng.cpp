@@ -2,6 +2,21 @@
 
 namespace metaopt::util {
 
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream) {
+  // Jump the stream index in, then mix twice so adjacent (base, stream)
+  // pairs land far apart.
+  std::uint64_t state = base + 0xbf58476d1ce4e5b9ULL * (stream + 1);
+  (void)splitmix64(state);
+  return splitmix64(state);
+}
+
 double Rng::uniform(double lo, double hi) {
   std::uniform_real_distribution<double> dist(lo, hi);
   return dist(engine_);

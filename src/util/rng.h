@@ -11,6 +11,16 @@
 
 namespace metaopt::util {
 
+/// Advances `state` by one splitmix64 step (Steele, Lea & Flood 2014)
+/// and returns the mixed output. The canonical way to spin up many
+/// decorrelated streams from one root seed.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Derives the seed of stream `stream` from a root `base` seed: jobs or
+/// instances indexed by `stream` get statistically independent RNGs that
+/// depend only on (base, stream) — never on execution order.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream);
+
 /// Deterministic PRNG wrapper with convenience draws.
 class Rng {
  public:

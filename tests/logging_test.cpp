@@ -1,0 +1,65 @@
+// Tests for the thread-safe leveled logger: level parsing, atomic level
+// flips, and concurrent logging from many threads (the interesting
+// assertions here are ThreadSanitizer's — the tsan CI preset runs this
+// test to race-check the sink).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace metaopt::util {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_level(); }
+  void TearDown() override { set_log_level(saved_); }
+  LogLevel saved_ = LogLevel::Warn;
+};
+
+TEST_F(LoggingTest, ParsesLevelNames) {
+  EXPECT_TRUE(set_log_level("trace"));
+  EXPECT_EQ(log_level(), LogLevel::Trace);
+  EXPECT_TRUE(set_log_level("ERROR"));
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  EXPECT_TRUE(set_log_level("Off"));
+  EXPECT_EQ(log_level(), LogLevel::Off);
+  EXPECT_FALSE(set_log_level("loud"));
+  EXPECT_EQ(log_level(), LogLevel::Off) << "unknown name must not change it";
+}
+
+TEST_F(LoggingTest, LogBelowLevelIsSuppressed) {
+  set_log_level(LogLevel::Error);
+  // Must not crash and must not evaluate into a flush at Error level;
+  // mostly a compile/semantics check for the MO_LOG macro.
+  MO_LOG(Debug) << "invisible " << 42;
+  set_log_level(LogLevel::Off);
+  MO_LOG(Error) << "also invisible";
+}
+
+TEST_F(LoggingTest, ConcurrentLoggingAndLevelFlipsAreSafe) {
+  // 8 writers log while the main thread flips the level; TSan verifies
+  // there is no data race on the level or the sink, and the mutex-guarded
+  // flush keeps lines intact (no interleaved characters).
+  set_log_level(LogLevel::Off);  // keep test output quiet; Off still
+                                 // exercises the atomic level reads
+  std::vector<std::thread> writers;
+  writers.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    writers.emplace_back([t] {
+      for (int i = 0; i < 50; ++i) {
+        MO_LOG(Error) << "writer " << t << " line " << i;
+        MO_LOG(Trace) << "suppressed " << i;
+      }
+    });
+  }
+  for (int flip = 0; flip < 100; ++flip) {
+    set_log_level(flip % 2 == 0 ? LogLevel::Off : LogLevel::Error);
+  }
+  for (std::thread& w : writers) w.join();
+}
+
+}  // namespace
+}  // namespace metaopt::util

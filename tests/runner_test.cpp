@@ -1,0 +1,384 @@
+// Tests for the scenario-sweep engine: thread pool, spec expansion and
+// parsing, determinism across thread counts, and per-job fault
+// isolation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runner/sweep_runner.h"
+#include "runner/sweep_spec.h"
+#include "runner/thread_pool.h"
+#include "util/rng.h"
+
+namespace metaopt::runner {
+namespace {
+
+// ---------------------------------------------------------------- pool
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillDrains) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, NestedSubmitsFromWorkers) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&pool, &count] {
+      // Work spawned from inside a task must also complete before
+      // wait_idle returns (it lands on the submitting worker's deque and
+      // is stealable by siblings).
+      for (int j = 0; j < 5; ++j) {
+        pool.submit([&count] { count.fetch_add(1); });
+      }
+      count.fetch_add(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 20 * 6);
+}
+
+TEST(ThreadPoolTest, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 2);
+}
+
+// ---------------------------------------------------------------- spec
+
+TEST(SweepSpecTest, ExpandsCartesianGridWithStableIds) {
+  SweepSpec spec;
+  spec.topologies = {"b4", "abilene"};
+  spec.thresholds = {25.0, 50.0, 100.0};
+  spec.paths_per_pair = {1, 2};
+  spec.seeds = {1, 2};
+  const std::vector<JobSpec> jobs = expand_spec(spec);
+  ASSERT_EQ(jobs.size(), 2u * 3u * 2u * 2u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].id, static_cast<int>(i));
+  }
+  // Innermost axis is the seed, outermost the topology.
+  EXPECT_EQ(jobs[0].topology, "b4");
+  EXPECT_EQ(jobs[0].seed, 1u);
+  EXPECT_EQ(jobs[1].seed, 2u);
+  EXPECT_EQ(jobs.back().topology, "abilene");
+  EXPECT_EQ(jobs.back().threshold, 100.0);
+}
+
+TEST(SweepSpecTest, PopAxisUsesPartitions) {
+  SweepSpec spec;
+  spec.heuristics = {Heuristic::Pop};
+  spec.partitions = {2, 4, 8};
+  const std::vector<JobSpec> jobs = expand_spec(spec);
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_EQ(jobs[0].num_partitions, 2);
+  EXPECT_EQ(jobs[2].num_partitions, 8);
+  EXPECT_EQ(jobs[0].axis_value(), 2.0);
+}
+
+TEST(SweepSpecTest, MaxJobsCapsExpansion) {
+  SweepSpec spec;
+  spec.thresholds = {1, 2, 3, 4, 5, 6, 7, 8};
+  spec.max_jobs = 3;
+  EXPECT_EQ(expand_spec(spec).size(), 3u);
+}
+
+TEST(SweepSpecTest, StreamSeedsAreStableAndDistinct) {
+  SweepSpec spec;
+  spec.thresholds = {25.0, 50.0};
+  spec.seeds = {1, 2, 3};
+  const std::vector<JobSpec> a = expand_spec(spec);
+  const std::vector<JobSpec> b = expand_spec(spec);
+  std::set<std::uint64_t> streams;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].stream_seed, b[i].stream_seed) << "expansion not stable";
+    streams.insert(a[i].stream_seed);
+  }
+  EXPECT_EQ(streams.size(), a.size()) << "stream seeds collide";
+}
+
+TEST(SweepSpecTest, SplitmixDerivationIsOrderFree) {
+  // derive_seed depends only on (base, stream), never on call order.
+  const std::uint64_t forward = util::derive_seed(42, 7);
+  (void)util::derive_seed(42, 3);
+  EXPECT_EQ(util::derive_seed(42, 7), forward);
+  EXPECT_NE(util::derive_seed(42, 7), util::derive_seed(42, 8));
+  EXPECT_NE(util::derive_seed(42, 7), util::derive_seed(43, 7));
+}
+
+TEST(SweepSpecTest, ParserHandlesListsRangesAndScalars) {
+  const SweepSpec spec = parse_sweep_spec(
+      {"topology=b4,swan", "heuristic=dp,pop", "threshold=2.5,50",
+       "partitions=2..4", "paths=1,2", "seed=1..3", "instances=4", "pairs=12",
+       "budget=7.5", "deterministic=0", "max-jobs=99", "base-seed=17"});
+  EXPECT_EQ(spec.topologies, (std::vector<std::string>{"b4", "swan"}));
+  ASSERT_EQ(spec.heuristics.size(), 2u);
+  EXPECT_EQ(spec.heuristics[1], Heuristic::Pop);
+  EXPECT_EQ(spec.thresholds, (std::vector<double>{2.5, 50.0}));
+  EXPECT_EQ(spec.partitions, (std::vector<int>{2, 3, 4}));
+  EXPECT_EQ(spec.seeds, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(spec.pop_instances, 4);
+  EXPECT_EQ(spec.pairs, 12);
+  EXPECT_DOUBLE_EQ(spec.budget_seconds, 7.5);
+  EXPECT_FALSE(spec.deterministic);
+  EXPECT_EQ(spec.max_jobs, 99);
+  EXPECT_EQ(spec.base_seed, 17u);
+}
+
+TEST(SweepSpecTest, ParserRejectsGarbage) {
+  EXPECT_THROW(parse_sweep_spec({"frobnicate=1"}), std::invalid_argument);
+  EXPECT_THROW(parse_sweep_spec({"threshold"}), std::invalid_argument);
+  EXPECT_THROW(parse_sweep_spec({"threshold=abc"}), std::invalid_argument);
+  EXPECT_THROW(parse_sweep_spec({"seed=5..1"}), std::invalid_argument);
+  EXPECT_THROW(parse_sweep_spec({"heuristic=magic"}), std::invalid_argument);
+}
+
+TEST(SweepSpecTest, ExpandRejectsBadSpecs) {
+  SweepSpec spec;
+  spec.budget_seconds = 0.0;
+  EXPECT_THROW(expand_spec(spec), std::invalid_argument);
+  spec = SweepSpec();
+  spec.topologies.clear();
+  EXPECT_THROW(expand_spec(spec), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- runner
+
+// Deterministic fake job body: a cheap stand-in for the solver whose
+// result is a pure function of the job spec.
+core::AdversarialResult fake_solve(const JobSpec& job) {
+  core::AdversarialResult r;
+  r.status = lp::SolveStatus::Optimal;
+  r.gap = job.threshold + static_cast<double>(job.num_partitions) +
+          0.001 * static_cast<double>(job.stream_seed % 1000);
+  r.normalized_gap = r.gap / 1000.0;
+  r.bound = r.gap;
+  r.nodes = job.id;
+  r.seconds = 0.0;
+  r.volumes = {1.0};
+  return r;
+}
+
+// Strips the trailing wall-time fields from every JSONL record so runs
+// with different thread counts can be compared bytewise.
+std::string strip_wall_times(const std::string& jsonl) {
+  static const std::regex kWall(",\"solve_seconds\":[^,}]*,\"wall_seconds\":[^,}]*");
+  return std::regex_replace(jsonl, kWall, "");
+}
+
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.topologies = {"b4", "swan"};
+  spec.thresholds = {25.0, 50.0, 100.0};
+  spec.seeds = {1, 2};
+  spec.budget_seconds = 1.0;
+  return spec;
+}
+
+TEST(SweepRunnerTest, IdenticalJsonlAcrossThreadCounts) {
+  const std::vector<JobSpec> jobs = expand_spec(small_spec());
+  std::vector<std::string> payloads;
+  for (int threads : {1, 2, 8}) {
+    SweepOptions options;
+    options.threads = threads;
+    options.log_progress = false;
+    const SweepReport report = SweepRunner(options).run_jobs(jobs, fake_solve);
+    EXPECT_EQ(report.threads, threads);
+    EXPECT_EQ(report.num_ok, static_cast<int>(jobs.size()));
+    payloads.push_back(strip_wall_times(report.jsonl()));
+  }
+  EXPECT_EQ(payloads[0], payloads[1]);
+  EXPECT_EQ(payloads[0], payloads[2]);
+}
+
+TEST(SweepRunnerTest, AggregationSortsShuffledJobIds) {
+  std::vector<JobSpec> jobs = expand_spec(small_spec());
+  std::rotate(jobs.begin(), jobs.begin() + 5, jobs.end());
+  SweepOptions options;
+  options.threads = 4;
+  options.log_progress = false;
+  const SweepReport report = SweepRunner(options).run_jobs(jobs, fake_solve);
+  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+    EXPECT_EQ(report.jobs[i].spec.id, static_cast<int>(i));
+  }
+}
+
+TEST(SweepRunnerTest, ThrowingJobIsIsolatedAsFailed) {
+  const std::vector<JobSpec> jobs = expand_spec(small_spec());
+  SweepOptions options;
+  options.threads = 4;
+  options.log_progress = false;
+  const SweepReport report =
+      SweepRunner(options).run_jobs(jobs, [](const JobSpec& job) {
+        if (job.id == 3) throw std::runtime_error("simplex exploded");
+        return fake_solve(job);
+      });
+  ASSERT_EQ(report.jobs.size(), jobs.size());
+  EXPECT_EQ(report.num_failed, 1);
+  EXPECT_EQ(report.num_ok, static_cast<int>(jobs.size()) - 1);
+  for (const JobResult& job : report.jobs) {
+    if (job.spec.id == 3) {
+      EXPECT_EQ(job.status, JobStatus::Failed);
+      EXPECT_EQ(job.error, "simplex exploded");
+      EXPECT_NE(to_json(job).find("\"status\":\"failed\""), std::string::npos);
+    } else {
+      // Sibling results are untouched by the failure.
+      EXPECT_EQ(job.status, JobStatus::Ok);
+      EXPECT_DOUBLE_EQ(job.result.gap, fake_solve(job.spec).gap);
+    }
+  }
+}
+
+TEST(SweepRunnerTest, TimeLimitStatusMapsToTimeout) {
+  const std::vector<JobSpec> jobs = expand_spec(small_spec());
+  SweepOptions options;
+  options.threads = 2;
+  options.log_progress = false;
+  const SweepReport report =
+      SweepRunner(options).run_jobs(jobs, [](const JobSpec& job) {
+        core::AdversarialResult r = fake_solve(job);
+        if (job.id == 0) {
+          // Budget exhausted with no incumbent at all -> timeout.
+          r.status = lp::SolveStatus::TimeLimit;
+          r.volumes.clear();
+        }
+        if (job.id == 1) {
+          // Budget-bounded but carrying a genuine incumbent -> ok.
+          r.status = lp::SolveStatus::TimeLimit;
+        }
+        return r;
+      });
+  EXPECT_EQ(report.num_timeout, 1);
+  EXPECT_EQ(report.jobs[0].status, JobStatus::Timeout);
+  EXPECT_EQ(report.jobs[1].status, JobStatus::Ok);
+  EXPECT_NE(to_json(report.jobs[0]).find("\"status\":\"timeout\""),
+            std::string::npos);
+}
+
+TEST(SweepRunnerTest, ProgressCallbackSeesEveryJob) {
+  const std::vector<JobSpec> jobs = expand_spec(small_spec());
+  SweepOptions options;
+  options.threads = 4;
+  options.log_progress = false;
+  std::set<int> seen;
+  int last_done = 0;
+  options.on_progress = [&](const JobResult& job, int done, int total) {
+    // The runner serializes progress callbacks, so no locking needed.
+    seen.insert(job.spec.id);
+    EXPECT_EQ(done, last_done + 1);
+    last_done = done;
+    EXPECT_EQ(total, static_cast<int>(jobs.size()));
+  };
+  const SweepReport report = SweepRunner(options).run_jobs(jobs, fake_solve);
+  EXPECT_EQ(seen.size(), jobs.size());
+  EXPECT_EQ(last_done, static_cast<int>(jobs.size()));
+}
+
+TEST(SweepRunnerTest, JsonlRecordsHaveSchemaFields) {
+  SweepSpec spec = small_spec();
+  spec.max_jobs = 1;
+  SweepOptions options;
+  options.threads = 1;
+  options.log_progress = false;
+  const SweepReport report =
+      SweepRunner(options).run_jobs(expand_spec(spec), fake_solve);
+  const std::string json = to_json(report.jobs[0]);
+  for (const char* key :
+       {"\"job\":", "\"topology\":", "\"heuristic\":", "\"threshold\":",
+        "\"partitions\":", "\"paths\":", "\"seed\":", "\"stream_seed\":",
+        "\"status\":", "\"solve_status\":", "\"gap\":", "\"norm_gap\":",
+        "\"bound\":", "\"nodes\":", "\"vars\":", "\"solve_seconds\":",
+        "\"wall_seconds\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+  // Wall-time fields are last so strip_wall_times-style diffs work.
+  EXPECT_GT(json.find("\"wall_seconds\":"), json.find("\"solve_seconds\":"));
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+// End-to-end determinism on the *real* solver stack: a tiny DP grid on
+// B4 with a small goalpost mask solves to optimality well inside the
+// budget, so the payload must be byte-identical across thread counts
+// (the acceptance criterion of the sweep engine).
+TEST(SweepRunnerTest, RealDpSweepIsDeterministicAcrossThreads) {
+  SweepSpec spec;
+  spec.topologies = {"b4"};
+  spec.thresholds = {50.0, 150.0};
+  spec.pairs = 4;
+  spec.budget_seconds = 60.0;  // generous; jobs finish in well under 1s
+  spec.deterministic = true;
+
+  std::vector<std::string> payloads;
+  for (int threads : {1, 2}) {
+    SweepOptions options;
+    options.threads = threads;
+    options.log_progress = false;
+    const SweepReport report = SweepRunner(options).run(spec);
+    EXPECT_EQ(report.num_ok, 2) << report.jsonl();
+    payloads.push_back(strip_wall_times(report.jsonl()));
+  }
+  EXPECT_EQ(payloads[0], payloads[1]);
+  // The gap must be real: DP on B4 with a 150-unit threshold strands
+  // capacity, so at least one job finds a strictly positive gap.
+  EXPECT_NE(payloads[0].find("\"status\":\"ok\""), std::string::npos);
+}
+
+TEST(SweepRunnerTest, WritesJsonlAndCsvArtifacts) {
+  SweepSpec spec = small_spec();
+  spec.max_jobs = 2;
+  SweepOptions options;
+  options.threads = 2;
+  options.log_progress = false;
+  const SweepReport report =
+      SweepRunner(options).run_jobs(expand_spec(spec), fake_solve);
+
+  const std::string dir = ::testing::TempDir() + "metaopt_runner_test";
+  const std::string jsonl_path = dir + "/out/sweep.jsonl";
+  const std::string csv_path = dir + "/out/sweep.csv";
+  report.write_jsonl(jsonl_path);
+  report.write_csv(csv_path, "sweeptest");
+
+  std::ifstream jsonl_in(jsonl_path);
+  ASSERT_TRUE(jsonl_in.good());
+  std::string line;
+  int lines = 0;
+  while (std::getline(jsonl_in, line)) {
+    if (!line.empty()) ++lines;
+  }
+  EXPECT_EQ(lines, 2);
+
+  std::ifstream csv_in(csv_path);
+  ASSERT_TRUE(csv_in.good());
+  ASSERT_TRUE(std::getline(csv_in, line));
+  EXPECT_EQ(line, "figure,series,x,y,extra");
+  ASSERT_TRUE(std::getline(csv_in, line));
+  EXPECT_NE(line.find("sweeptest,b4/dp"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace metaopt::runner

@@ -5,6 +5,21 @@
 //   metaopt find pop [options]                     white-box POP search
 //   metaopt bound dp|pop [options]                 primal-dual upper bound
 //   metaopt search hill|anneal|random|quant dp|pop black-box baselines
+//   metaopt sweep key=value... [options]           parallel scenario sweep
+//
+// Sweep grammar (cartesian grid; comma lists, `lo..hi` integer ranges):
+//   metaopt sweep topology=b4,swan heuristic=dp threshold=25,50,100
+//       paths=2 seed=1..3 pairs=12 budget=20 --threads 8
+//       --jsonl out/sweep.jsonl --csv out/sweep.csv
+// Per-job RNG streams are derived from the spec (splitmix), jobs are
+// aggregated by id, and wall-time fields sit last in each JSONL record,
+// so output is byte-identical across thread counts and reruns.
+// Sweep-only options:
+//   --threads N        worker threads (default: all hardware threads)
+//   --spec FILE        read key=value tokens (whitespace/newline
+//                      separated, # comments) from FILE before argv ones
+//   --jsonl FILE       write one JSON record per job
+//   --quiet            suppress per-job progress lines
 //
 // Common options:
 //   --topology <b4|abilene|swan|fig1|file.topo>   (default b4)
@@ -26,8 +41,12 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+#include <sstream>
+
 #include "core/adversarial.h"
 #include "core/gap_bound.h"
+#include "runner/sweep_runner.h"
 #include "net/paths.h"
 #include "net/topologies.h"
 #include "net/topology_io.h"
@@ -290,6 +309,96 @@ int cmd_search(const Args& args) {
   return 0;
 }
 
+int cmd_sweep(const Args& args) {
+  // Spec tokens: everything after "sweep" that looks like key=value,
+  // optionally preceded by the contents of --spec FILE.
+  std::vector<std::string> tokens;
+  const std::string spec_file = args.get("spec", "");
+  if (!spec_file.empty()) {
+    std::ifstream in(spec_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open spec file '%s'\n", spec_file.c_str());
+      return 2;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (const std::size_t hash = line.find('#'); hash != std::string::npos) {
+        line.erase(hash);
+      }
+      std::istringstream words(line);
+      std::string word;
+      while (words >> word) tokens.push_back(word);
+    }
+  }
+  for (std::size_t i = 1; i < args.positional.size(); ++i) {
+    tokens.push_back(args.positional[i]);
+  }
+  if (tokens.empty()) {
+    std::fprintf(stderr,
+                 "usage: metaopt sweep key=value... (see header comment)\n");
+    return 2;
+  }
+
+  const runner::SweepSpec spec = runner::parse_sweep_spec(tokens);
+  runner::SweepOptions options;
+  options.threads = static_cast<int>(args.get_num("threads", 0));
+  options.log_progress = false;
+  if (args.flags.count("quiet") == 0) {
+    options.on_progress = [](const runner::JobResult& job, int done,
+                             int total) {
+      std::fprintf(stderr,
+                   "[%3d/%3d] job %-3d %-3s %-8s x=%-6s %-7s gap=%-10.3f "
+                   "(%.1fs)\n",
+                   done, total, job.spec.id,
+                   runner::to_string(job.spec.heuristic),
+                   job.spec.topology.c_str(),
+                   util::format_double(job.spec.axis_value()).c_str(),
+                   runner::to_string(job.status), job.result.gap,
+                   job.wall_seconds);
+    };
+  }
+
+  const runner::SweepReport report = runner::SweepRunner(options).run(spec);
+
+  std::printf("jobs:      %zu (%d ok, %d timeout, %d failed)\n",
+              report.jobs.size(), report.num_ok, report.num_timeout,
+              report.num_failed);
+  std::printf("threads:   %d\n", report.threads);
+  std::printf("wall:      %.2fs\n", report.wall_seconds);
+  double worst = 0.0;
+  const runner::JobResult* worst_job = nullptr;
+  for (const runner::JobResult& job : report.jobs) {
+    if (job.status == runner::JobStatus::Ok &&
+        job.result.normalized_gap >= worst) {
+      worst = job.result.normalized_gap;
+      worst_job = &job;
+    }
+  }
+  if (worst_job != nullptr) {
+    std::printf("worst gap: %.3f (%.2f%% of capacity) at %s %s x=%s\n",
+                worst_job->result.gap,
+                100.0 * worst_job->result.normalized_gap,
+                runner::to_string(worst_job->spec.heuristic),
+                worst_job->spec.topology.c_str(),
+                util::format_double(worst_job->spec.axis_value()).c_str());
+  }
+  for (const runner::JobResult& job : report.jobs) {
+    if (job.status == runner::JobStatus::Failed) {
+      std::printf("job %d FAILED: %s\n", job.spec.id, job.error.c_str());
+    }
+  }
+
+  if (const std::string path = args.get("jsonl", ""); !path.empty()) {
+    report.write_jsonl(path);
+    std::printf("jsonl:     %s\n", path.c_str());
+  }
+  if (const std::string path = args.get("csv", ""); !path.empty()) {
+    report.write_csv(path, "sweep");
+    std::printf("csv:       %s\n", path.c_str());
+  }
+  return report.num_failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -300,7 +409,7 @@ int main(int argc, char** argv) {
   }
   if (args.positional.empty()) {
     std::fprintf(stderr,
-                 "usage: metaopt topo|find|bound|search ... (see header)\n");
+                 "usage: metaopt topo|find|bound|search|sweep ... (see header)\n");
     return 2;
   }
   const std::string& command = args.positional[0];
@@ -309,6 +418,7 @@ int main(int argc, char** argv) {
     if (command == "find") return cmd_find(args);
     if (command == "bound") return cmd_bound(args);
     if (command == "search") return cmd_search(args);
+    if (command == "sweep") return cmd_sweep(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
