@@ -32,8 +32,10 @@ void Fig4a_DpThresholdSweep(benchmark::State& state) {
   spec.thresholds = {25.0, 50.0, 100.0, 150.0, 200.0};
   spec.budget_seconds = bench::scaled(kBudgetPerPoint);
   // Match the single-shot CLI path: budget-bounded black-box seeding
-  // before the B&B (figure shape beats byte-reproducibility here).
+  // before the B&B (figure shape beats byte-reproducibility here), at
+  // this bench's historical half-budget fraction.
   spec.deterministic = false;
+  spec.seed_search_fraction = 0.5;
 
   runner::SweepOptions options;
   options.threads = bench::bench_threads();

@@ -170,7 +170,7 @@ core::AdversarialResult SweepRunner::execute_job(const JobSpec& job) {
   // (and through them the B&B node count) depend on machine load; a
   // deterministic job trades it away for byte-reproducibility.
   options.seed_search_seconds =
-      job.deterministic ? 0.0 : 0.3 * job.budget_seconds;
+      job.deterministic ? 0.0 : job.seed_search_fraction * job.budget_seconds;
 
   if (job.heuristic == Heuristic::Dp) {
     te::DpConfig dp;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -36,6 +37,9 @@ std::vector<JobSpec> expand_spec(const SweepSpec& spec) {
   if (spec.pop_instances <= 0) {
     throw std::invalid_argument("sweep spec: instances must be positive");
   }
+  if (spec.seed_search_fraction < 0.0 || spec.seed_search_fraction >= 1.0) {
+    throw std::invalid_argument("sweep spec: seed-fraction must be in [0, 1)");
+  }
 
   std::vector<JobSpec> jobs;
   int id = 0;
@@ -61,6 +65,7 @@ std::vector<JobSpec> expand_spec(const SweepSpec& spec) {
     job.pairs = spec.pairs;
     job.budget_seconds = spec.budget_seconds;
     job.demand_ub = spec.demand_ub;
+    job.seed_search_fraction = spec.seed_search_fraction;
     job.deterministic = spec.deterministic;
     job.certify = spec.certify;
     jobs.push_back(std::move(job));
@@ -163,6 +168,22 @@ double parse_scalar(const std::string& key, const std::string& value) {
   return list.front();
 }
 
+// Full-precision 64-bit parse: going through double would silently round
+// seeds above 2^53 and break reproducibility-from-spec.
+std::uint64_t parse_scalar_u64(const std::string& key,
+                               const std::string& value) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (value.empty() ||
+      value.find_first_not_of("0123456789") != std::string::npos ||
+      end == nullptr || *end != '\0' || errno == ERANGE) {
+    throw std::invalid_argument("sweep spec: bad integer '" + value +
+                                "' for key '" + key + "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
 }  // namespace
 
 SweepSpec parse_sweep_spec(const std::vector<std::string>& tokens) {
@@ -211,7 +232,9 @@ SweepSpec parse_sweep_spec(const std::vector<std::string>& tokens) {
     } else if (key == "demand-ub") {
       spec.demand_ub = parse_scalar(key, value);
     } else if (key == "base-seed") {
-      spec.base_seed = static_cast<std::uint64_t>(parse_scalar(key, value));
+      spec.base_seed = parse_scalar_u64(key, value);
+    } else if (key == "seed-fraction") {
+      spec.seed_search_fraction = parse_scalar(key, value);
     } else if (key == "deterministic") {
       spec.deterministic = parse_scalar(key, value) != 0.0;
     } else if (key == "certify") {

@@ -50,6 +50,11 @@ struct SweepSpec {
   double budget_seconds = 30.0;
   /// Demand box upper bound; 0 = max link capacity.
   double demand_ub = 0.0;
+  /// Fraction of the per-job budget spent on the black-box seeding pass
+  /// when `deterministic` is false (seed_search_seconds = fraction *
+  /// budget). Figure benches tune this per figure; 0 disables seeding
+  /// even for non-deterministic jobs.
+  double seed_search_fraction = 0.3;
   /// Root of the per-job splitmix seed streams.
   std::uint64_t base_seed = 1;
   /// When true, disables the wall-clock-budgeted black-box seeding pass
@@ -80,6 +85,7 @@ struct JobSpec {
   int pairs = 0;
   double budget_seconds = 30.0;
   double demand_ub = 0.0;
+  double seed_search_fraction = 0.3;
   bool deterministic = true;
   bool certify = false;
 
@@ -103,7 +109,7 @@ std::vector<JobSpec> expand_spec(const SweepSpec& spec);
 ///   partitions=2,4,8      paths=2               seed=1..8
 ///   instances=3           pairs=12              budget=20
 ///   demand-ub=0           base-seed=1           deterministic=1
-///   certify=0             max-jobs=100
+///   certify=0             max-jobs=100          seed-fraction=0.3
 ///
 /// Integer axes accept `lo..hi` inclusive ranges; comma lists work for
 /// every axis. Unknown keys and malformed values throw

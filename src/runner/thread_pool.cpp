@@ -6,9 +6,12 @@ namespace metaopt::runner {
 
 namespace {
 
-// Index of the deque owned by the current thread, or -1 when the
-// current thread is not a worker of any pool. Workers of distinct pools
-// never interleave on one OS thread, so a single slot suffices.
+// Identity of the current thread as a worker: the pool it belongs to
+// (nullptr when it is not a worker) and the index of the deque it owns
+// there. Keyed by pool so a worker of pool A submitting to pool B takes
+// the external round-robin path instead of hijacking B's deque at A's
+// index.
+thread_local ThreadPool* t_pool = nullptr;
 thread_local int t_worker_index = -1;
 
 }  // namespace
@@ -38,9 +41,9 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
-  const int self = t_worker_index;
+  const int self = t_pool == this ? t_worker_index : -1;
   std::size_t target;
-  if (self >= 0 && self < static_cast<int>(deques_.size())) {
+  if (self >= 0) {
     target = static_cast<std::size_t>(self);
   } else {
     target = next_deque_.fetch_add(1) % deques_.size();
@@ -54,7 +57,14 @@ void ThreadPool::submit(std::function<void()> task) {
       deques_[target]->tasks.push_back(std::move(task));
     }
   }
-  queued_.fetch_add(1);
+  {
+    // Increment under wake_mutex_ so the change is ordered against a
+    // worker's predicate check: without the lock, a worker could see
+    // queued_ == 0, then miss this notify_one before blocking — a lost
+    // wakeup that strands the task (and wait_idle) until the destructor.
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    queued_.fetch_add(1);
+  }
   wake_cv_.notify_one();
 }
 
@@ -83,6 +93,7 @@ bool ThreadPool::try_pop(int self, std::function<void()>& task) {
 }
 
 void ThreadPool::worker_loop(int self) {
+  t_pool = this;
   t_worker_index = self;
   for (;;) {
     std::function<void()> task;

@@ -64,9 +64,11 @@ class ThreadPool {
   std::vector<std::unique_ptr<Deque>> deques_;
   std::vector<std::thread> workers_;
 
-  // wake_mutex_ guards stop_ and pairs with both condition variables;
+  // wake_mutex_ guards stop_ and pairs with both condition variables.
   // queued_/unfinished_ are additionally atomic so try_pop can check
-  // emptiness without the global lock.
+  // emptiness without the global lock, but every increment that can turn
+  // a wait predicate true happens under wake_mutex_ — otherwise the
+  // paired notify could race a waiter's predicate check and be lost.
   std::mutex wake_mutex_;
   std::condition_variable wake_cv_;
   std::condition_variable idle_cv_;

@@ -58,6 +58,38 @@ TEST(ThreadPoolTest, NestedSubmitsFromWorkers) {
   EXPECT_EQ(count.load(), 20 * 6);
 }
 
+TEST(ThreadPoolTest, SingleSubmitNeverLosesTheWakeup) {
+  // Regression: submit() must publish queued_ under wake_mutex_ before
+  // notifying. Without that, the increment+notify can land in the window
+  // between the lone worker's predicate check and its block, the
+  // notification is lost, and wait_idle hangs. One task at a time on a
+  // 1-thread pool maximizes the chance of hitting that window.
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 2000; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+    pool.wait_idle();
+  }
+  EXPECT_EQ(count.load(), 2000);
+}
+
+TEST(ThreadPoolTest, WorkerOfOnePoolSubmitsToAnother) {
+  // A worker of pool A is not an owner in pool B: its submits must take
+  // B's external round-robin path (not hijack B's deque at A's index)
+  // and still drain.
+  ThreadPool a(4);
+  ThreadPool b(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    a.submit([&b, &count] {
+      b.submit([&count] { count.fetch_add(1); });
+    });
+  }
+  a.wait_idle();
+  b.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
 TEST(ThreadPoolTest, WaitIdleIsReusable) {
   ThreadPool pool(2);
   std::atomic<int> count{0};
@@ -156,6 +188,29 @@ TEST(SweepSpecTest, ParserRejectsGarbage) {
   EXPECT_THROW(parse_sweep_spec({"threshold=abc"}), std::invalid_argument);
   EXPECT_THROW(parse_sweep_spec({"seed=5..1"}), std::invalid_argument);
   EXPECT_THROW(parse_sweep_spec({"heuristic=magic"}), std::invalid_argument);
+  EXPECT_THROW(parse_sweep_spec({"base-seed=-1"}), std::invalid_argument);
+  EXPECT_THROW(parse_sweep_spec({"base-seed=1.5"}), std::invalid_argument);
+  EXPECT_THROW(parse_sweep_spec({"base-seed=99999999999999999999999"}),
+               std::invalid_argument);
+}
+
+TEST(SweepSpecTest, BaseSeedKeepsFull64BitPrecision) {
+  // Above 2^53 a double round-trip would silently round; the parser must
+  // take the integer path so reproducibility-from-spec holds.
+  const SweepSpec above = parse_sweep_spec({"base-seed=9007199254740993"});
+  EXPECT_EQ(above.base_seed, 9007199254740993u);  // 2^53 + 1
+  const SweepSpec max = parse_sweep_spec({"base-seed=18446744073709551615"});
+  EXPECT_EQ(max.base_seed, 18446744073709551615u);  // 2^64 - 1
+}
+
+TEST(SweepSpecTest, SeedFractionParsesAndPropagates) {
+  SweepSpec spec = parse_sweep_spec({"seed-fraction=0.5"});
+  EXPECT_DOUBLE_EQ(spec.seed_search_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(expand_spec(spec)[0].seed_search_fraction, 0.5);
+  spec.seed_search_fraction = 1.5;
+  EXPECT_THROW(expand_spec(spec), std::invalid_argument);
+  spec.seed_search_fraction = -0.1;
+  EXPECT_THROW(expand_spec(spec), std::invalid_argument);
 }
 
 TEST(SweepSpecTest, ExpandRejectsBadSpecs) {

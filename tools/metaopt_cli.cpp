@@ -20,6 +20,8 @@
 //                      separated, # comments) from FILE before argv ones
 //   --jsonl FILE       write one JSON record per job
 //   --quiet            suppress per-job progress lines
+// Sweep exit codes: 0 = ok (≥1 job finished with an incumbent), 1 = a
+// job failed, 3 = no failures but every job timed out empty-handed.
 //
 // Common options:
 //   --topology <b4|abilene|swan|fig1|file.topo>   (default b4)
@@ -396,7 +398,11 @@ int cmd_sweep(const Args& args) {
     report.write_csv(path, "sweep");
     std::printf("csv:       %s\n", path.c_str());
   }
-  return report.num_failed == 0 ? 0 : 1;
+  // 0 = at least one job produced a gap and none threw; 1 = some job
+  // failed; 3 = nothing failed but no job finished ok either (every job
+  // timed out with no incumbent), so the campaign was unproductive.
+  if (report.num_failed > 0) return 1;
+  return report.num_ok > 0 ? 0 : 3;
 }
 
 }  // namespace
