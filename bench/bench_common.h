@@ -12,9 +12,11 @@
 #include <filesystem>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "net/topologies.h"
+#include "obs/obs.h"
 #include "te/demand.h"
 #include "te/path_set.h"
 #include "util/csv.h"
@@ -76,6 +78,39 @@ inline net::Topology topology_by_name(const std::string& name) {
   if (name == "abilene") return net::topologies::abilene();
   if (name == "swan") return net::topologies::swan();
   throw std::invalid_argument("unknown topology " + name);
+}
+
+/// Turns obs recording on for this bench and returns the baseline
+/// metrics snapshot to diff against in write_bench_report().
+inline obs::MetricsSnapshot obs_begin() {
+  obs::set_enabled(true);
+  return obs::snapshot();
+}
+
+/// Emits bench_results/BENCH_<figure>.json (schema v1; validated by
+/// tools/check_bench_json.py in CI). `summaries` holds named raw sample
+/// vectors — summarized here so every bench reports the same statistics.
+/// When METAOPT_BENCH_TRACE names a file, the span trace also lands
+/// there as Chrome-trace JSON.
+inline void write_bench_report(
+    const std::string& figure, const obs::MetricsSnapshot& baseline,
+    double wall_seconds,
+    std::vector<std::pair<std::string, std::string>> config,
+    const std::vector<std::pair<std::string, std::vector<double>>>&
+        summaries) {
+  obs::BenchReport report;
+  report.bench = figure;
+  report.config = std::move(config);
+  report.wall_seconds = wall_seconds;
+  report.metrics = obs::diff(baseline, obs::snapshot());
+  for (const auto& [name, samples] : summaries) {
+    report.add_summary(name, samples);
+  }
+  std::filesystem::create_directories("bench_results");
+  report.write("bench_results/BENCH_" + figure + ".json");
+  if (const char* env = std::getenv("METAOPT_BENCH_TRACE")) {
+    if (*env != '\0') obs::write_chrome_trace(env);
+  }
 }
 
 }  // namespace metaopt::bench

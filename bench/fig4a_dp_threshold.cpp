@@ -17,6 +17,7 @@
 
 #include "bench_common.h"
 #include "runner/sweep_runner.h"
+#include "util/stopwatch.h"
 
 namespace {
 
@@ -40,6 +41,9 @@ void Fig4a_DpThresholdSweep(benchmark::State& state) {
   runner::SweepOptions options;
   options.threads = bench::bench_threads();
 
+  const obs::MetricsSnapshot obs_baseline = bench::obs_begin();
+  util::Stopwatch bench_watch;
+  std::vector<double> job_walls, norm_gaps;
   double worst_gap = 0.0;
   for (auto _ : state) {
     const runner::SweepReport report = runner::SweepRunner(options).run(spec);
@@ -49,6 +53,8 @@ void Fig4a_DpThresholdSweep(benchmark::State& state) {
       out.row("fig4a", job.spec.topology, pct, job.result.normalized_gap,
               job.result.gap);
       worst_gap = std::max(worst_gap, job.result.normalized_gap);
+      job_walls.push_back(job.wall_seconds);
+      norm_gaps.push_back(job.result.normalized_gap);
     }
     report.write_jsonl("bench_results/fig4a.jsonl");
     state.counters["ok"] = report.num_ok;
@@ -56,6 +62,12 @@ void Fig4a_DpThresholdSweep(benchmark::State& state) {
     state.counters["threads"] = report.threads;
   }
   state.counters["worst_norm_gap"] = worst_gap;
+  bench::write_bench_report(
+      "fig4a", obs_baseline, bench_watch.seconds(),
+      {{"scale", std::to_string(bench::budget_scale())},
+       {"threads", std::to_string(bench::bench_threads())},
+       {"budget_per_point", std::to_string(spec.budget_seconds)}},
+      {{"job_wall_seconds", job_walls}, {"norm_gap", norm_gaps}});
 }
 
 BENCHMARK(Fig4a_DpThresholdSweep)->Unit(benchmark::kSecond)->Iterations(1);

@@ -15,6 +15,7 @@
 
 #include "bench_common.h"
 #include "runner/sweep_runner.h"
+#include "util/stopwatch.h"
 
 namespace {
 
@@ -39,6 +40,9 @@ void run_sweep(benchmark::State& state, const runner::SweepSpec& spec,
   runner::SweepOptions options;
   options.threads = bench::bench_threads();
 
+  const obs::MetricsSnapshot obs_baseline = bench::obs_begin();
+  util::Stopwatch bench_watch;
+  std::vector<double> job_walls, norm_gaps;
   for (auto _ : state) {
     const runner::SweepReport report = runner::SweepRunner(options).run(spec);
     auto out = bench::csv("fig5b");
@@ -49,6 +53,8 @@ void run_sweep(benchmark::State& state, const runner::SweepSpec& spec,
                            : static_cast<double>(job.spec.paths_per_pair);
       out.row("fig5b", series, x, job.result.normalized_gap, "");
       norm_gap = job.result.normalized_gap;
+      job_walls.push_back(job.wall_seconds);
+      norm_gaps.push_back(job.result.normalized_gap);
     }
     report.write_jsonl("bench_results/fig5b_" + series + ".jsonl");
     state.counters["ok"] = report.num_ok;
@@ -57,6 +63,12 @@ void run_sweep(benchmark::State& state, const runner::SweepSpec& spec,
   }
   state.SetLabel(series + " sweep on " + std::to_string(options.threads) +
                  " threads");
+  bench::write_bench_report(
+      "fig5b_" + series, obs_baseline, bench_watch.seconds(),
+      {{"scale", std::to_string(bench::budget_scale())},
+       {"threads", std::to_string(bench::bench_threads())},
+       {"series", series}},
+      {{"job_wall_seconds", job_walls}, {"norm_gap", norm_gaps}});
 }
 
 /// Partition sweep at 2 paths per pair.

@@ -6,9 +6,20 @@
 
 #include "check/lint.h"
 #include "kkt/canon.h"
+#include "obs/obs.h"
 #include "util/logging.h"
 
 namespace metaopt::kkt {
+
+namespace {
+
+const obs::Counter c_rewrites = obs::counter("kkt.rewrites");
+const obs::Counter c_rewrite_vars = obs::counter("kkt.rewrite_vars");
+const obs::Counter c_rewrite_rows = obs::counter("kkt.rewrite_rows");
+const obs::Counter c_complementarities = obs::counter("kkt.complementarities");
+const obs::Histogram h_emit_ns = obs::histogram("kkt.emit_ns");
+
+}  // namespace
 
 using detail::CanonRow;
 using lp::ConstraintSpec;
@@ -20,6 +31,8 @@ using lp::VarId;
 
 KktArtifacts emit_kkt(Model& outer, const InnerProblem& inner,
                       const std::string& prefix) {
+  MO_SPAN_HIST("kkt.emit", h_emit_ns);
+  c_rewrites.inc();
   KktArtifacts out;
   const double sign =
       inner.sense() == lp::ObjSense::Maximize ? -1.0 : 1.0;  // internal min
@@ -130,6 +143,10 @@ KktArtifacts emit_kkt(Model& outer, const InnerProblem& inner,
   out.objective_expr = inner.objective();
   out.num_vars_added = outer.num_vars() - vars_before;
   out.num_constraints_added = outer.num_constraints() - cons_before;
+  c_rewrite_vars.add(static_cast<std::uint64_t>(out.num_vars_added));
+  c_rewrite_rows.add(static_cast<std::uint64_t>(out.num_constraints_added));
+  c_complementarities.add(
+      static_cast<std::uint64_t>(out.num_complementarities));
 
 #ifndef NDEBUG
   // Lint every KKT-materialized model in Debug builds: a NaN coefficient

@@ -1,5 +1,6 @@
 #include "lp/presolve.h"
 
+#include "obs/obs.h"
 #include "util/tolerances.h"
 
 #include <algorithm>
@@ -8,6 +9,54 @@
 namespace metaopt::lp {
 
 namespace {
+
+const obs::Counter c_runs = obs::counter("presolve.runs");
+const obs::Counter c_rounds = obs::counter("presolve.rounds");
+const obs::Counter c_tightenings = obs::counter("presolve.tightenings");
+const obs::Counter c_vars_fixed = obs::counter("presolve.vars_fixed");
+const obs::Counter c_rows_redundant = obs::counter("presolve.rows_redundant");
+const obs::Counter c_infeasible = obs::counter("presolve.infeasible");
+
+/// Metric accounting on every exit path of presolve(): deltas computed
+/// against the entry bounds so "vars_fixed" counts newly pinned boxes.
+class PresolveMetrics {
+ public:
+  PresolveMetrics(const PresolveResult& result, double tol)
+      : result_(result), tol_(tol) {
+    if (!obs::enabled()) return;
+    active_ = true;
+    fixed_at_entry_ = count_fixed();
+    c_runs.inc();
+  }
+
+  ~PresolveMetrics() {
+    if (!active_) return;
+    c_rounds.add(static_cast<std::uint64_t>(result_.rounds));
+    c_tightenings.add(static_cast<std::uint64_t>(result_.tightenings));
+    const int fixed_now = count_fixed();
+    if (fixed_now > fixed_at_entry_) {
+      c_vars_fixed.add(static_cast<std::uint64_t>(fixed_now - fixed_at_entry_));
+    }
+    std::uint64_t redundant = 0;
+    for (bool r : result_.redundant_rows) redundant += r ? 1 : 0;
+    c_rows_redundant.add(redundant);
+    if (result_.infeasible) c_infeasible.inc();
+  }
+
+ private:
+  [[nodiscard]] int count_fixed() const {
+    int fixed = 0;
+    for (std::size_t v = 0; v < result_.lb.size(); ++v) {
+      if (result_.ub[v] - result_.lb[v] <= tol_) ++fixed;
+    }
+    return fixed;
+  }
+
+  const PresolveResult& result_;
+  double tol_;
+  bool active_ = false;
+  int fixed_at_entry_ = 0;
+};
 
 /// Activity contribution range of one term under the current bounds.
 inline void term_range(double coef, double lb, double ub, double* lo,
@@ -39,6 +88,10 @@ PresolveResult presolve(const Model& model, const PresolveOptions& options,
     }
   }
   result.redundant_rows.assign(model.num_constraints(), false);
+
+  MO_SPAN("lp.presolve");
+  // Counts rounds/tightenings/newly-fixed vars on every exit path below.
+  const PresolveMetrics metrics(result, options.tol);
 
   std::vector<double> term_lo, term_hi;
   bool changed = true;

@@ -5,12 +5,22 @@
 #include <vector>
 
 #include "check/certify.h"
+#include "obs/obs.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace metaopt::lp {
 
 namespace {
+
+// Hot-loop instrumentation: one relaxed-atomic branch each while
+// observability is off (obs::enabled() == false).
+const obs::Counter c_solves = obs::counter("simplex.solves");
+const obs::Counter c_pivots = obs::counter("simplex.pivots");
+const obs::Counter c_degenerate = obs::counter("simplex.degenerate_pivots");
+const obs::Counter c_bland = obs::counter("simplex.bland_switches");
+const obs::Counter c_phase1 = obs::counter("simplex.phase1_solves");
+const obs::Histogram h_solve_ns = obs::histogram("simplex.solve_ns");
 
 /// Dense tableau state for one solve.
 class Tableau {
@@ -89,6 +99,7 @@ class Tableau {
     long iters = 0;
     util::Stopwatch watch;
     if (has_artificials_) {
+      c_phase1.inc();
       const SolveStatus st =
           iterate(/*phase1=*/true, &iters, watch);
       if (st != SolveStatus::Optimal) {
@@ -226,10 +237,15 @@ class Tableau {
       }
 
       if (best_ratio <= 1e-12) {
-        if (++degenerate_streak > opt_.stall_limit) bland = true;
+        c_degenerate.inc();
+        if (++degenerate_streak > opt_.stall_limit && !bland) {
+          bland = true;
+          c_bland.inc();
+        }
       } else {
         degenerate_streak = 0;
       }
+      c_pivots.inc();
       pivot(leave, enter);
     }
   }
@@ -305,6 +321,8 @@ void SimplexSolver::maybe_certify(const Model& model, Solution& sol,
 
 Solution SimplexSolver::solve_standard(const StandardForm& sf,
                                        const Model& model) const {
+  MO_SPAN_HIST("simplex.solve", h_solve_ns);
+  c_solves.inc();
   util::Stopwatch watch;
   Solution sol;
 

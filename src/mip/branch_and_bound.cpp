@@ -8,6 +8,7 @@
 #include "check/certify.h"
 #include "check/lint.h"
 #include "lp/presolve.h"
+#include "obs/obs.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/tolerances.h"
@@ -20,6 +21,15 @@ using lp::Model;
 using lp::Solution;
 using lp::SolveStatus;
 using lp::VarId;
+
+const obs::Counter c_solves = obs::counter("bnb.solves");
+const obs::Counter c_nodes = obs::counter("bnb.nodes_explored");
+const obs::Counter c_pruned_bound = obs::counter("bnb.nodes_pruned_bound");
+const obs::Counter c_pruned_infeas =
+    obs::counter("bnb.nodes_pruned_infeasible");
+const obs::Counter c_incumbents = obs::counter("bnb.incumbent_updates");
+const obs::Histogram h_solve_ns = obs::histogram("bnb.solve_ns");
+const obs::Histogram h_node_ns = obs::histogram("bnb.node_ns");
 
 /// One bound tightening relative to the parent node.
 struct BoundChange {
@@ -78,6 +88,8 @@ void materialize_bounds(const Model& model, const Node* node,
 Solution BranchAndBound::solve(const Model& model,
                                const MipCallbacks& callbacks) const {
   util::Stopwatch watch;
+  MO_SPAN_HIST("bnb.solve", h_solve_ns);
+  c_solves.inc();
   model.validate();
 
   if (options_.certify) {
@@ -114,6 +126,9 @@ Solution BranchAndBound::solve(const Model& model,
     incumbent_obj = obj;
     incumbent_values = values;
     have_incumbent = true;
+    c_incumbents.inc();
+    // Incumbent timeline: renders as the gap-vs-time curve in Perfetto.
+    obs::record_counter("bnb.incumbent", obj);
     if (improvement >= options_.progress_min_improvement) {
       last_progress_time = watch.seconds();
       last_progress_obj = obj;
@@ -195,15 +210,19 @@ Solution BranchAndBound::solve(const Model& model,
     // Bound-based prune (entry.score is dir * parent bound).
     if (have_incumbent &&
         entry.score <= dir * incumbent_obj + options_.abs_gap) {
+      c_pruned_bound.inc();
       continue;
     }
     if (have_incumbent &&
         entry.score - dir * incumbent_obj <=
             options_.rel_gap * std::max(1.0, std::abs(incumbent_obj))) {
+      c_pruned_bound.inc();
       continue;
     }
 
     ++nodes;
+    c_nodes.inc();
+    MO_SPAN_HIST("bnb.node", h_node_ns);
     materialize_bounds(model, entry.node.get(), lbs, ubs);
 
     // Skip nodes whose bound fixings became contradictory.
@@ -211,13 +230,19 @@ Solution BranchAndBound::solve(const Model& model,
     for (VarId v = 0; v < model.num_vars() && !box_empty; ++v) {
       if (lbs[v] > ubs[v] + tol::kFixTol) box_empty = true;
     }
-    if (box_empty) continue;
+    if (box_empty) {
+      c_pruned_infeas.inc();
+      continue;
+    }
 
     if (options_.use_presolve) {
       lp::PresolveOptions popts;
       popts.max_rounds = 3;
       const lp::PresolveResult pre = lp::presolve(model, popts, &lbs, &ubs);
-      if (pre.infeasible) continue;
+      if (pre.infeasible) {
+        c_pruned_infeas.inc();
+        continue;
+      }
       lbs = pre.lb;
       ubs = pre.ub;
     }
@@ -233,7 +258,10 @@ Solution BranchAndBound::solve(const Model& model,
       stop_reason = SolveStatus::TimeLimit;
       break;
     }
-    if (relax.status == SolveStatus::Infeasible) continue;
+    if (relax.status == SolveStatus::Infeasible) {
+      c_pruned_infeas.inc();
+      continue;
+    }
     if (relax.status == SolveStatus::Unbounded) {
       // KKT systems routinely have unbounded *relaxations* while the
       // complementarity-constrained problem is bounded (duals are free
@@ -287,6 +315,7 @@ Solution BranchAndBound::solve(const Model& model,
     const double node_bound = relax.objective;
     if (have_incumbent &&
         dir * node_bound <= dir * incumbent_obj + options_.abs_gap) {
+      c_pruned_bound.inc();
       continue;
     }
 

@@ -1,0 +1,179 @@
+// Lock-free, thread-sharded metrics registry.
+//
+// Metrics are named hierarchically ("simplex.pivots", "bnb.nodes_explored")
+// and come in three kinds:
+//   * Counter   — monotonic per-thread-sharded uint64; add()/inc()
+//   * Gauge     — last-write-wins global double; set()
+//   * Histogram — per-thread-sharded power-of-two buckets over uint64
+//                 values (typically nanoseconds) with count and sum
+//
+// Handles are registered once (mutex-protected registry, usually at
+// namespace scope) and are then trivially copyable ids. Hot-path updates
+// touch only the calling thread's shard — a relaxed load/store pair on a
+// cache line no other thread writes — behind a single relaxed-atomic
+// `enabled()` branch. With METAOPT_OBS_DISABLED defined the whole
+// subsystem compiles down to no-ops (`obs::kCompiledIn == false`).
+//
+// Snapshots:
+//   snapshot()        — sums all shards (all threads, living or retired)
+//   snapshot_thread() — the calling thread's shard only; SweepRunner
+//                       diffs it around each job for per-job attribution
+//                       (a job runs wholly on one pool thread)
+//   diff(before, after) — per-metric delta, zero deltas dropped
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace metaopt::obs {
+
+#ifdef METAOPT_OBS_DISABLED
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+/// Shard capacities (compile-time; registration past them throws).
+inline constexpr int kMaxCounters = 256;
+inline constexpr int kMaxGauges = 64;
+inline constexpr int kMaxHistograms = 64;
+/// Power-of-two histogram buckets: value v lands in bucket bit_width(v),
+/// i.e. bucket b covers [2^(b-1), 2^b).
+inline constexpr int kHistBuckets = 64;
+
+namespace detail {
+
+extern std::atomic<bool> g_enabled;
+
+/// One thread's metric shard. Cells are written only by the owning
+/// thread (relaxed load+store, no RMW contention) and read by snapshots
+/// with relaxed loads; blocks outlive their thread so counts survive
+/// pool teardown.
+struct ThreadBlock {
+  std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+  struct Hist {
+    std::array<std::atomic<std::uint64_t>, kHistBuckets> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  std::array<Hist, kMaxHistograms> hists{};
+};
+
+ThreadBlock& tls_block();
+
+inline void shard_add(std::atomic<std::uint64_t>& cell, std::uint64_t n) {
+  // Owning-thread-only write: a plain add would race with snapshot
+  // reads; a relaxed load+store pair is as cheap and TSan-clean.
+  cell.store(cell.load(std::memory_order_relaxed) + n,
+             std::memory_order_relaxed);
+}
+
+std::atomic<double>& gauge_cell(int id);
+
+}  // namespace detail
+
+/// True when metric/trace recording is on: one relaxed atomic load
+/// (constant false when compiled out with METAOPT_OBS_DISABLED).
+inline bool enabled() {
+  if constexpr (!kCompiledIn) return false;
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns recording on/off globally (counters, gauges, histograms, trace).
+void set_enabled(bool on);
+
+// Handles default-construct to an invalid id (-1): updates through an
+// unregistered handle are silent no-ops, so e.g. a ScopedSpan without an
+// attached histogram costs nothing extra.
+
+class Counter {
+ public:
+  constexpr Counter() = default;
+  void add(std::uint64_t n) const noexcept {
+    if (!enabled() || id_ < 0) return;
+    detail::shard_add(detail::tls_block().counters[id_], n);
+  }
+  void inc() const noexcept { add(1); }
+
+ private:
+  friend Counter counter(const std::string& name);
+  explicit constexpr Counter(int id) : id_(id) {}
+  int id_ = -1;
+};
+
+class Gauge {
+ public:
+  constexpr Gauge() = default;
+  void set(double v) const noexcept {
+    if (!enabled() || id_ < 0) return;
+    detail::gauge_cell(id_).store(v, std::memory_order_relaxed);
+  }
+
+ private:
+  friend Gauge gauge(const std::string& name);
+  explicit constexpr Gauge(int id) : id_(id) {}
+  int id_ = -1;
+};
+
+class Histogram {
+ public:
+  constexpr Histogram() = default;
+  void observe(std::uint64_t value) const noexcept;
+
+ private:
+  friend Histogram histogram(const std::string& name);
+  explicit constexpr Histogram(int id) : id_(id) {}
+  int id_ = -1;
+};
+
+/// Registers (or looks up) a metric by name. Idempotent for matching
+/// kinds; throws std::runtime_error on a kind clash or shard overflow.
+Counter counter(const std::string& name);
+Gauge gauge(const std::string& name);
+Histogram histogram(const std::string& name);
+
+enum class MetricKind { Counter, Gauge, Histogram };
+
+struct HistogramData {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, kHistBuckets> buckets{};
+};
+
+struct MetricValue {
+  std::string name;
+  MetricKind kind = MetricKind::Counter;
+  /// Counter total (as double; exact below 2^53) or gauge value.
+  double value = 0.0;
+  HistogramData hist;  ///< kind == Histogram only
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricValue> metrics;  ///< sorted by name
+
+  [[nodiscard]] bool empty() const { return metrics.empty(); }
+  /// Finds a metric by exact name (nullptr when absent).
+  [[nodiscard]] const MetricValue* find(const std::string& name) const;
+  /// Compact single-line JSON object: counters/gauges as numbers,
+  /// histograms as {"count":..,"sum":..,"mean":..}. Keys sorted.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Sums every thread shard (including threads that have exited).
+MetricsSnapshot snapshot();
+/// The calling thread's shard only.
+MetricsSnapshot snapshot_thread();
+/// after - before for counters/histograms; gauges take `after`'s value.
+/// Metrics whose delta is entirely zero are dropped.
+MetricsSnapshot diff(const MetricsSnapshot& before,
+                     const MetricsSnapshot& after);
+/// Zeroes all shards and gauges. Call only while recording is quiesced
+/// (no concurrent add/observe), e.g. at the start of a bench.
+void reset();
+
+const char* to_string(MetricKind kind);
+
+}  // namespace metaopt::obs

@@ -1,0 +1,216 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace metaopt::obs {
+
+namespace {
+
+constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
+
+struct Ring {
+  std::vector<TraceEvent> slots;
+  std::atomic<std::uint64_t> next{0};
+};
+
+Ring& ring() {
+  static Ring* r = [] {
+    auto* owned = new Ring();  // leaked: may outlive exiting threads
+    owned->slots.resize(kDefaultCapacity);
+    return owned;
+  }();
+  return *r;
+}
+
+void push(const TraceEvent& ev) {
+  Ring& r = ring();
+  // Distinct relaxed fetch_add claims per push: concurrent writers land
+  // in different slots (a same-slot collision needs `capacity` pushes in
+  // flight simultaneously). Readers are documented quiesced-only.
+  const std::uint64_t i = r.next.fetch_add(1, std::memory_order_relaxed);
+  r.slots[i % r.slots.size()] = ev;
+}
+
+std::string json_escape_name(const char* name) {
+  // Span names are compile-time literals without quotes/control chars by
+  // convention; escape defensively anyway.
+  std::string out;
+  for (const char* p = name; *p != '\0'; ++p) {
+    if (*p == '"' || *p == '\\') out.push_back('\\');
+    out.push_back(*p);
+  }
+  return out;
+}
+
+std::ofstream open_for_write(const std::string& path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  return out;
+}
+
+}  // namespace
+
+std::uint32_t thread_id() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void set_trace_capacity(std::size_t capacity) {
+  Ring& r = ring();
+  r.slots.assign(std::max<std::size_t>(capacity, 1), TraceEvent{});
+  r.next.store(0, std::memory_order_relaxed);
+}
+
+void clear_trace() {
+  Ring& r = ring();
+  std::fill(r.slots.begin(), r.slots.end(), TraceEvent{});
+  r.next.store(0, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> trace_events() {
+  Ring& r = ring();
+  const std::uint64_t n = r.next.load(std::memory_order_relaxed);
+  const std::size_t cap = r.slots.size();
+  std::vector<TraceEvent> out;
+  if (n <= cap) {
+    out.assign(r.slots.begin(),
+               r.slots.begin() + static_cast<std::ptrdiff_t>(n));
+  } else {
+    // Wrapped: oldest surviving event sits at n % cap.
+    out.reserve(cap);
+    const std::size_t start = static_cast<std::size_t>(n % cap);
+    out.insert(out.end(),
+               r.slots.begin() + static_cast<std::ptrdiff_t>(start),
+               r.slots.end());
+    out.insert(out.end(), r.slots.begin(),
+               r.slots.begin() + static_cast<std::ptrdiff_t>(start));
+  }
+  return out;
+}
+
+std::uint64_t trace_dropped() {
+  Ring& r = ring();
+  const std::uint64_t n = r.next.load(std::memory_order_relaxed);
+  const std::uint64_t cap = r.slots.size();
+  return n > cap ? n - cap : 0;
+}
+
+void record_complete(const char* name, std::uint64_t start_ns,
+                     std::uint64_t end_ns) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.ts_ns = start_ns;
+  ev.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+  ev.name = name;
+  ev.tid = thread_id();
+  ev.phase = 'X';
+  push(ev);
+}
+
+void record_counter(const char* name, double value) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.ts_ns = util::Stopwatch::now_ns();
+  ev.name = name;
+  ev.value = value;
+  ev.tid = thread_id();
+  ev.phase = 'C';
+  push(ev);
+}
+
+void record_instant(const char* name) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.ts_ns = util::Stopwatch::now_ns();
+  ev.name = name;
+  ev.tid = thread_id();
+  ev.phase = 'i';
+  push(ev);
+}
+
+void write_chrome_trace(std::ostream& out) {
+  const std::vector<TraceEvent> events = trace_events();
+  std::uint64_t base = 0;
+  bool have_base = false;
+  for (const TraceEvent& ev : events) {
+    if (ev.name == nullptr) continue;
+    if (!have_base || ev.ts_ns < base) {
+      base = ev.ts_ns;
+      have_base = true;
+    }
+  }
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char buf[160];
+  for (const TraceEvent& ev : events) {
+    if (ev.name == nullptr) continue;
+    if (!first) out << ",\n";
+    first = false;
+    const double ts_us = static_cast<double>(ev.ts_ns - base) / 1e3;
+    switch (ev.phase) {
+      case 'X': {
+        const double dur_us = static_cast<double>(ev.dur_ns) / 1e3;
+        std::snprintf(buf, sizeof(buf),
+                      "\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
+                      "\"dur\":%.3f",
+                      ev.tid, ts_us, dur_us);
+        out << "{\"name\":\"" << json_escape_name(ev.name) << "\"," << buf
+            << "}";
+        break;
+      }
+      case 'C': {
+        std::snprintf(buf, sizeof(buf),
+                      "\"ph\":\"C\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
+                      "\"args\":{\"value\":%.17g}",
+                      ev.tid, ts_us, ev.value);
+        out << "{\"name\":\"" << json_escape_name(ev.name) << "\"," << buf
+            << "}";
+        break;
+      }
+      default: {
+        std::snprintf(buf, sizeof(buf),
+                      "\"ph\":\"i\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
+                      "\"s\":\"t\"",
+                      ev.tid, ts_us);
+        out << "{\"name\":\"" << json_escape_name(ev.name) << "\"," << buf
+            << "}";
+        break;
+      }
+    }
+  }
+  out << "]}\n";
+}
+
+void write_chrome_trace(const std::string& path) {
+  std::ofstream out = open_for_write(path);
+  write_chrome_trace(out);
+}
+
+void write_trace_jsonl(std::ostream& out) {
+  char buf[192];
+  for (const TraceEvent& ev : trace_events()) {
+    if (ev.name == nullptr) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"phase\":\"%c\",\"tid\":%u,\"ts_ns\":%" PRIu64
+                  ",\"dur_ns\":%" PRIu64 ",\"value\":%.17g}",
+                  ev.phase, ev.tid, ev.ts_ns, ev.dur_ns, ev.value);
+    out << "{\"name\":\"" << json_escape_name(ev.name) << buf << "\n";
+  }
+}
+
+void write_trace_jsonl(const std::string& path) {
+  std::ofstream out = open_for_write(path);
+  write_trace_jsonl(out);
+}
+
+}  // namespace metaopt::obs

@@ -10,6 +10,7 @@
 
 #include "net/topologies.h"
 #include "net/topology_io.h"
+#include "obs/obs.h"
 #include "runner/thread_pool.h"
 #include "util/csv.h"
 #include "util/logging.h"
@@ -118,9 +119,12 @@ std::string to_json(const JobResult& r) {
   field("binaries", std::to_string(a.stats.num_binaries));
   field("nonzeros", std::to_string(a.stats.num_nonzeros));
   // Wall-time fields stay last so campaign diffs can strip them by
-  // truncating at "solve_seconds".
+  // truncating at "solve_seconds". The optional metrics object rides in
+  // that same strip-suffix zone (and is omitted when recording is off),
+  // so the deterministic prefix is byte-identical either way.
   field("solve_seconds", json_number(a.seconds));
   field("wall_seconds", json_number(r.wall_seconds));
+  if (!r.metrics.empty()) field("metrics", r.metrics.to_json());
   out += "}";
   return out;
 }
@@ -214,7 +218,11 @@ SweepReport SweepRunner::run_jobs(const std::vector<JobSpec>& jobs,
       JobResult& slot = report.jobs[i];
       slot.spec = jobs[i];
       util::Stopwatch watch;
+      // Per-job metric attribution: the job body runs entirely on this
+      // worker thread, so diffing its shard brackets exactly this job.
+      const obs::MetricsSnapshot before = obs::snapshot_thread();
       try {
+        MO_SPAN("sweep.job");
         slot.result = fn(jobs[i]);
         // The B&B reports TimeLimit even when it carries a budget-bounded
         // incumbent; only an *incumbent-less* budget exhaustion is a
@@ -236,6 +244,7 @@ SweepReport SweepRunner::run_jobs(const std::vector<JobSpec>& jobs,
         slot.error = "unknown exception";
       }
       slot.wall_seconds = watch.seconds();
+      slot.metrics = obs::diff(before, obs::snapshot_thread());
 
       std::lock_guard<std::mutex> lock(progress_mutex);
       ++completed;

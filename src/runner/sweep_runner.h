@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/adversarial.h"
+#include "obs/metrics.h"
 #include "runner/sweep_spec.h"
 
 namespace metaopt::runner {
@@ -40,6 +41,11 @@ struct JobResult {
   std::string error;                ///< exception message when Failed
   core::AdversarialResult result;   ///< valid unless Failed
   double wall_seconds = 0.0;        ///< job wall time inside the pool
+  /// Per-job obs metric deltas (thread-shard diff around the job body;
+  /// valid because a job runs wholly on one pool thread). Empty when
+  /// recording is off — and then omitted from the JSONL record, so the
+  /// byte format is unchanged for existing campaigns.
+  obs::MetricsSnapshot metrics;
 };
 
 struct SweepReport {

@@ -3,12 +3,18 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 
 namespace metaopt::search {
 
 namespace {
+
+const obs::Counter c_evaluations = obs::counter("search.evaluations");
+const obs::Counter c_improvements = obs::counter("search.improvements");
+const obs::Counter c_restarts = obs::counter("search.restarts");
+const obs::Histogram h_run_ns = obs::histogram("search.run_ns");
 
 /// Shared bookkeeping: budget checks and best-so-far tracking.
 class Tracker {
@@ -18,6 +24,7 @@ class Tracker {
     result_.best_volumes.assign(oracle.num_demands(), 0.0);
     result_.best = oracle.evaluate(result_.best_volumes);  // gap(0) = 0
     ++result_.evaluations;
+    c_evaluations.inc();
   }
 
   [[nodiscard]] bool budget_left() const {
@@ -29,10 +36,13 @@ class Tracker {
   double evaluate(const std::vector<double>& volumes) {
     const te::GapResult r = oracle_.evaluate(volumes);
     ++result_.evaluations;
+    c_evaluations.inc();
     if (r.gap() > result_.best.gap()) {
       result_.best = r;
       result_.best_volumes = volumes;
       result_.trace.emplace_back(watch_.seconds(), r.gap());
+      c_improvements.inc();
+      obs::record_counter("search.best_gap", r.gap());
     }
     return r.gap();
   }
@@ -42,7 +52,10 @@ class Tracker {
     return std::move(result_);
   }
 
-  void count_restart() { ++result_.restarts; }
+  void count_restart() {
+    ++result_.restarts;
+    c_restarts.inc();
+  }
 
  private:
   const te::GapOracle& oracle_;
@@ -72,6 +85,7 @@ std::vector<double> gaussian_neighbor(const std::vector<double>& d,
 
 SearchResult hill_climb(const te::GapOracle& oracle,
                         const SearchOptions& options) {
+  MO_SPAN_HIST("search.hill_climb", h_run_ns);
   util::Rng rng(options.seed);
   Tracker tracker(oracle, options);
   const double sigma = options.sigma_fraction * options.demand_ub;
@@ -106,6 +120,7 @@ SearchResult hill_climb(const te::GapOracle& oracle,
 
 SearchResult simulated_annealing(const te::GapOracle& oracle,
                                  const SearchOptions& options) {
+  MO_SPAN_HIST("search.simulated_annealing", h_run_ns);
   util::Rng rng(options.seed);
   Tracker tracker(oracle, options);
   const double sigma = options.sigma_fraction * options.demand_ub;
@@ -137,6 +152,7 @@ SearchResult simulated_annealing(const te::GapOracle& oracle,
 
 SearchResult random_search(const te::GapOracle& oracle,
                            const SearchOptions& options) {
+  MO_SPAN_HIST("search.random_search", h_run_ns);
   util::Rng rng(options.seed);
   Tracker tracker(oracle, options);
   while (tracker.budget_left()) {
@@ -147,6 +163,7 @@ SearchResult random_search(const te::GapOracle& oracle,
 
 SearchResult quantized_climb(const te::GapOracle& oracle,
                              const SearchOptions& options) {
+  MO_SPAN_HIST("search.quantized_climb", h_run_ns);
   util::Rng rng(options.seed);
   Tracker tracker(oracle, options);
   std::vector<double> levels = options.levels;

@@ -12,30 +12,40 @@ double mean(const std::vector<double>& values) {
   return sum / static_cast<double>(values.size());
 }
 
-double percentile(std::vector<double> values, double q) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  const double pos = q * static_cast<double>(values.size() - 1);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  return values[lo] * (1.0 - frac) + values[hi] * frac;
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double percentile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  return percentile_sorted(values, q);
 }
 
 Summary summarize(const std::vector<double>& values) {
   Summary s;
   s.count = values.size();
   if (values.empty()) return s;
-  s.mean = mean(values);
-  s.min = *std::min_element(values.begin(), values.end());
-  s.max = *std::max_element(values.begin(), values.end());
+  // One sorted copy serves min/max and every percentile (the previous
+  // version re-sorted the whole sample per quantile).
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (double v : sorted) s.sum += v;
+  s.mean = s.sum / static_cast<double>(sorted.size());
+  s.min = sorted.front();
+  s.max = sorted.back();
   double var = 0.0;
-  for (double v : values) var += (v - s.mean) * (v - s.mean);
-  var /= static_cast<double>(values.size());
+  for (double v : sorted) var += (v - s.mean) * (v - s.mean);
+  var /= static_cast<double>(sorted.size());
   s.stddev = std::sqrt(var);
-  s.p50 = percentile(values, 0.5);
-  s.p90 = percentile(values, 0.9);
+  s.p50 = percentile_sorted(sorted, 0.5);
+  s.p90 = percentile_sorted(sorted, 0.9);
+  s.p99 = percentile_sorted(sorted, 0.99);
   return s;
 }
 

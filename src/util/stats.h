@@ -6,24 +6,31 @@
 
 namespace metaopt::util {
 
-/// Summary of a sample: count, mean, min, max, stddev, percentiles.
+/// Summary of a sample: count, mean, min, max, sum, stddev, percentiles.
 struct Summary {
   std::size_t count = 0;
   double mean = 0.0;
   double stddev = 0.0;
   double min = 0.0;
   double max = 0.0;
+  double sum = 0.0;
   double p50 = 0.0;
   double p90 = 0.0;
+  double p99 = 0.0;
 };
 
 /// Computes a Summary over `values` (empty input yields all zeros).
+/// Sorts one internal copy once; all percentiles read the same order.
 Summary summarize(const std::vector<double>& values);
 
 /// Arithmetic mean (0 for empty input).
 double mean(const std::vector<double>& values);
 
 /// Linear-interpolated percentile, q in [0,1] (0 for empty input).
+/// Copies and sorts; use percentile_sorted to amortize over quantiles.
 double percentile(std::vector<double> values, double q);
+
+/// Linear-interpolated percentile over an ascending-sorted sample.
+double percentile_sorted(const std::vector<double>& sorted, double q);
 
 }  // namespace metaopt::util

@@ -35,6 +35,12 @@
 //   --seed S           RNG seed                    (default 1)
 //   --certify          independently certify every solve (find/bound)
 //   --csv FILE         append a result row to FILE
+//
+// Observability (any command; enables the obs subsystem for the run):
+//   --metrics          print the final metrics snapshot as one JSON line
+//   --trace FILE       write a Chrome-trace/Perfetto JSON of all spans
+//                      (load it at https://ui.perfetto.dev)
+//   --trace-jsonl FILE write the same events as one JSON object per line
 #include <cstdio>
 #include <cstdlib>
 #include <cmath>
@@ -48,6 +54,7 @@
 
 #include "core/adversarial.h"
 #include "core/gap_bound.h"
+#include "obs/obs.h"
 #include "runner/sweep_runner.h"
 #include "net/paths.h"
 #include "net/topologies.h"
@@ -405,6 +412,25 @@ int cmd_sweep(const Args& args) {
   return report.num_ok > 0 ? 0 : 3;
 }
 
+/// Exports whatever the obs subsystem recorded (runs even when the
+/// command failed, so a partial trace of a crash-adjacent run survives).
+void export_obs(const Args& args) {
+  if (!obs::enabled()) return;
+  if (const std::string path = args.get("trace", ""); !path.empty()) {
+    obs::write_chrome_trace(path);
+    std::fprintf(stderr, "trace:      %s (%zu events, %llu dropped)\n",
+                 path.c_str(), obs::trace_events().size(),
+                 static_cast<unsigned long long>(obs::trace_dropped()));
+  }
+  if (const std::string path = args.get("trace-jsonl", ""); !path.empty()) {
+    obs::write_trace_jsonl(path);
+    std::fprintf(stderr, "trace-jsonl: %s\n", path.c_str());
+  }
+  if (args.flags.count("metrics") > 0) {
+    std::printf("metrics:   %s\n", obs::snapshot().to_json().c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -418,17 +444,23 @@ int main(int argc, char** argv) {
                  "usage: metaopt topo|find|bound|search|sweep ... (see header)\n");
     return 2;
   }
+  if (args.flags.count("metrics") > 0 || !args.get("trace", "").empty() ||
+      !args.get("trace-jsonl", "").empty()) {
+    obs::set_enabled(true);
+  }
   const std::string& command = args.positional[0];
+  int rc = 2;
   try {
-    if (command == "topo") return cmd_topo(args);
-    if (command == "find") return cmd_find(args);
-    if (command == "bound") return cmd_bound(args);
-    if (command == "search") return cmd_search(args);
-    if (command == "sweep") return cmd_sweep(args);
+    if (command == "topo") rc = cmd_topo(args);
+    else if (command == "find") rc = cmd_find(args);
+    else if (command == "bound") rc = cmd_bound(args);
+    else if (command == "search") rc = cmd_search(args);
+    else if (command == "sweep") rc = cmd_sweep(args);
+    else std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    rc = 1;
   }
-  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
-  return 2;
+  export_obs(args);
+  return rc;
 }
