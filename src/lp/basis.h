@@ -1,0 +1,90 @@
+// Explicit simplex basis: per-column status plus a dense factorization
+// of the basis matrix with product-form updates.
+//
+// The status vector is the whole warm-start contract: it is tiny (one
+// byte per column), independent of any factorization, and a
+// parent-optimal status vector stays dual-feasible for every child node
+// of a branch-and-bound tree (bounds only tighten, costs and matrix
+// never change). Branch-and-bound therefore shares `Basis` objects down
+// the tree and the solver refactorizes on demand.
+//
+// `BasisFactor` maintains an explicit dense inverse of the basis matrix:
+// factorize() is Gauss-Jordan with partial pivoting (O(m^3)), update()
+// applies a product-form elementary transform after one column swap
+// (O(m^2)). The inverse drifts with updates, so the solver refactorizes
+// every kRefactorInterval pivots and runs a residual accuracy check
+// before trusting a terminal point (see revised_simplex.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lp/standard_form.h"
+
+namespace metaopt::lp {
+
+/// Simplex status of one column.
+enum class VarStatus : std::uint8_t {
+  AtLower,  ///< nonbasic at its (finite) lower bound
+  AtUpper,  ///< nonbasic at its (finite) upper bound
+  Basic,    ///< in the basis; value solved from the basis system
+  Free,     ///< nonbasic with no finite bound; rests at zero
+};
+
+/// Basic/nonbasic status per BoundedForm column. This is all a warm
+/// start needs: the factorization and the primal point are recomputed
+/// from it on demand.
+struct Basis {
+  std::vector<VarStatus> status;
+
+  [[nodiscard]] int num_basic() const {
+    int count = 0;
+    for (const VarStatus s : status) {
+      if (s == VarStatus::Basic) ++count;
+    }
+    return count;
+  }
+};
+
+/// Pivots between full refactorizations. Product-form updates cost
+/// O(m^2) but accumulate roundoff; a periodic O(m^3) rebuild keeps the
+/// inverse honest (and the accuracy check catches the rare escape).
+inline constexpr int kRefactorInterval = 64;
+
+/// Dense inverse of the basis matrix of a BoundedForm.
+class BasisFactor {
+ public:
+  /// Factorizes the basis given by `basic` (column ids, one per row;
+  /// order defines the position <-> row mapping). Returns false when the
+  /// matrix is numerically singular — the caller must repair or fall
+  /// back, the factor is unusable.
+  bool factorize(const BoundedForm& form, const std::vector<int>& basic,
+                 double pivot_tol);
+
+  /// x := B^{-1} x (forward transform: solve B y = x).
+  void ftran(std::vector<double>& x) const;
+
+  /// x := B^{-T} x (backward transform: solve B' y = x).
+  void btran(std::vector<double>& x) const;
+
+  /// Replaces basis position `r` by a column whose ftran image is `w`
+  /// (w = B^{-1} a_q). Returns false when |w[r]| <= pivot_tol (the
+  /// update would divide by numerical dust).
+  bool update(int r, const std::vector<double>& w, double pivot_tol);
+
+  [[nodiscard]] bool valid() const { return m_ > 0 || factorized_empty_; }
+  [[nodiscard]] int pivots_since_factor() const { return pivots_; }
+  [[nodiscard]] bool needs_refactor() const {
+    return pivots_ >= kRefactorInterval;
+  }
+
+ private:
+  std::vector<double> inv_;  // row-major m x m
+  std::vector<double> scratch_;
+  mutable std::vector<double> work_;
+  int m_ = 0;
+  int pivots_ = 0;
+  bool factorized_empty_ = false;
+};
+
+}  // namespace metaopt::lp

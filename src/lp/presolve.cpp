@@ -75,8 +75,18 @@ inline void term_range(double coef, double lb, double ub, double* lo,
 PresolveResult presolve(const Model& model, const PresolveOptions& options,
                         const std::vector<double>* lb0,
                         const std::vector<double>* ub0) {
-  const int n = model.num_vars();
   PresolveResult result;
+  presolve_into(model, options, lb0, ub0, result);
+  return result;
+}
+
+void presolve_into(const Model& model, const PresolveOptions& options,
+                   const std::vector<double>* lb0,
+                   const std::vector<double>* ub0, PresolveResult& result) {
+  const int n = model.num_vars();
+  result.infeasible = false;
+  result.rounds = 0;
+  result.tightenings = 0;
   result.lb.resize(n);
   result.ub.resize(n);
   for (VarId v = 0; v < n; ++v) {
@@ -84,7 +94,7 @@ PresolveResult presolve(const Model& model, const PresolveOptions& options,
     result.ub[v] = ub0 ? (*ub0)[v] : model.var(v).ub;
     if (result.lb[v] > result.ub[v] + options.tol) {
       result.infeasible = true;
-      return result;
+      return;
     }
   }
   result.redundant_rows.assign(model.num_constraints(), false);
@@ -93,7 +103,8 @@ PresolveResult presolve(const Model& model, const PresolveOptions& options,
   // Counts rounds/tightenings/newly-fixed vars on every exit path below.
   const PresolveMetrics metrics(result, options.tol);
 
-  std::vector<double> term_lo, term_hi;
+  std::vector<double>& term_lo = result.scratch_term_lo;
+  std::vector<double>& term_hi = result.scratch_term_hi;
   bool changed = true;
   while (changed && result.rounds < options.max_rounds) {
     changed = false;
@@ -110,7 +121,7 @@ PresolveResult presolve(const Model& model, const PresolveOptions& options,
                                   : std::abs(con.rhs) <= options.tol;
         if (!ok) {
           result.infeasible = true;
-          return result;
+          return;
         }
         result.redundant_rows[ci] = true;
         continue;
@@ -134,11 +145,11 @@ PresolveResult presolve(const Model& model, const PresolveOptions& options,
           con.sense == Sense::GreaterEqual || con.sense == Sense::Equal;
       if (needs_le && lo_inf == 0 && act_lo > con.rhs + options.tol) {
         result.infeasible = true;
-        return result;
+        return;
       }
       if (needs_ge && hi_inf == 0 && act_hi < con.rhs - options.tol) {
         result.infeasible = true;
-        return result;
+        return;
       }
       if (con.sense == Sense::LessEqual && hi_inf == 0 &&
           act_hi <= con.rhs + options.tol) {
@@ -205,7 +216,7 @@ PresolveResult presolve(const Model& model, const PresolveOptions& options,
         }
         if (result.lb[v] > result.ub[v] + options.tol) {
           result.infeasible = true;
-          return result;
+          return;
         }
       }
     }
@@ -223,12 +234,11 @@ PresolveResult presolve(const Model& model, const PresolveOptions& options,
         }
         if (result.lb[v] > result.ub[v] + options.tol) {
           result.infeasible = true;
-          return result;
+          return;
         }
       }
     }
   }
-  return result;
 }
 
 }  // namespace metaopt::lp

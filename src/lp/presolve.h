@@ -34,6 +34,12 @@ struct PresolveResult {
   std::vector<bool> redundant_rows;
   int rounds = 0;
   int tightenings = 0;
+
+  /// Per-row activity scratch, kept here so a caller that presolves in a
+  /// loop (one branch-and-bound node after another) reuses the
+  /// allocations instead of growing fresh vectors every node.
+  std::vector<double> scratch_term_lo;
+  std::vector<double> scratch_term_hi;
 };
 
 /// Runs presolve on `model` starting from its own bounds or the given
@@ -41,5 +47,12 @@ struct PresolveResult {
 PresolveResult presolve(const Model& model, const PresolveOptions& options = {},
                         const std::vector<double>* lb0 = nullptr,
                         const std::vector<double>* ub0 = nullptr);
+
+/// Same, writing into a caller-owned result whose buffers (bounds,
+/// redundant-row flags, scratch) are reused across calls. All outputs
+/// are reset first; only capacity survives.
+void presolve_into(const Model& model, const PresolveOptions& options,
+                   const std::vector<double>* lb0,
+                   const std::vector<double>* ub0, PresolveResult& result);
 
 }  // namespace metaopt::lp

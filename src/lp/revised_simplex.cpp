@@ -1,0 +1,706 @@
+#include "lp/revised_simplex.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/obs.h"
+#include "util/tolerances.h"
+
+namespace metaopt::lp {
+
+namespace {
+
+const obs::Counter c_revised_pivots = obs::counter("simplex.revised_pivots");
+const obs::Counter c_dual_pivots = obs::counter("simplex.dual_pivots");
+const obs::Counter c_bound_flips = obs::counter("simplex.bound_flips");
+const obs::Counter c_refactorizations =
+    obs::counter("simplex.refactorizations");
+const obs::Counter c_factor_cache_hits =
+    obs::counter("simplex.factor_cache_hits");
+
+/// Absolute window inside which two ratio-test values count as tied.
+constexpr double kRatioTieTol = 1e-12;
+
+/// Step below which a pivot counts as degenerate (stall bookkeeping).
+constexpr double kDegenerateStep = 1e-12;
+
+}  // namespace
+
+RevisedSimplex::RevisedSimplex(const BoundedForm& form)
+    : form_(form),
+      n_(form.num_structs),
+      m_(form.num_rows),
+      total_(form.num_cols()) {
+  cost2_.assign(total_, 0.0);
+  for (int j = 0; j < n_; ++j) cost2_[j] = form_.cost[j];
+  cl_.assign(total_, 0.0);
+  cu_.assign(total_, 0.0);
+  x_.assign(total_, 0.0);
+  status_.assign(total_, VarStatus::AtLower);
+  pos_.assign(total_, -1);
+  basic_.reserve(m_);
+}
+
+void RevisedSimplex::set_bounds(const std::vector<double>& lb,
+                                const std::vector<double>& ub) {
+  for (int j = 0; j < n_; ++j) {
+    cl_[j] = lb[j];
+    cu_[j] = ub[j];
+  }
+  for (int i = 0; i < m_; ++i) {
+    const int s = form_.logical_col(i);
+    cl_[s] = 0.0;
+    cu_[s] = form_.row_is_eq[i] ? 0.0 : kInf;
+    const int a = form_.artificial_col(i);
+    cl_[a] = 0.0;
+    cu_[a] = 0.0;
+  }
+}
+
+void RevisedSimplex::rebuild_positions() {
+  std::fill(pos_.begin(), pos_.end(), -1);
+  for (int i = 0; i < static_cast<int>(basic_.size()); ++i) {
+    pos_[basic_[i]] = i;
+  }
+}
+
+bool RevisedSimplex::refactorize(double pivot_tol) {
+  c_refactorizations.inc();
+  if (!factor_.factorize(form_, basic_, pivot_tol)) {
+    factored_basic_.clear();
+    return false;
+  }
+  factored_basic_ = basic_;
+  compute_basic_values();
+  return true;
+}
+
+void RevisedSimplex::compute_basic_values() {
+  resid_ = form_.rhs;
+  for (int j = 0; j < total_; ++j) {
+    if (status_[j] == VarStatus::Basic) continue;
+    const double xj = x_[j];
+    if (xj == 0.0) continue;
+    if (j < n_) {
+      for (int t = form_.col_start[j]; t < form_.col_start[j + 1]; ++t) {
+        resid_[form_.col_row[t]] -= form_.col_val[t] * xj;
+      }
+    } else {
+      const int row = j < n_ + m_ ? j - n_ : j - n_ - m_;
+      resid_[row] -= xj;
+    }
+  }
+  factor_.ftran(resid_);
+  for (int i = 0; i < m_; ++i) x_[basic_[i]] = resid_[i];
+}
+
+void RevisedSimplex::ftran_column(int j, std::vector<double>& w) const {
+  w.assign(m_, 0.0);
+  if (j < n_) {
+    for (int t = form_.col_start[j]; t < form_.col_start[j + 1]; ++t) {
+      w[form_.col_row[t]] = form_.col_val[t];
+    }
+  } else {
+    w[j < n_ + m_ ? j - n_ : j - n_ - m_] = 1.0;
+  }
+  factor_.ftran(w);
+}
+
+double RevisedSimplex::col_dot(const std::vector<double>& v, int j) const {
+  if (j < n_) {
+    double acc = 0.0;
+    for (int t = form_.col_start[j]; t < form_.col_start[j + 1]; ++t) {
+      acc += v[form_.col_row[t]] * form_.col_val[t];
+    }
+    return acc;
+  }
+  return v[j < n_ + m_ ? j - n_ : j - n_ - m_];
+}
+
+void RevisedSimplex::compute_y(const std::vector<double>& cost,
+                               std::vector<double>& y) const {
+  y.resize(m_);
+  for (int i = 0; i < m_; ++i) y[i] = cost[basic_[i]];
+  factor_.btran(y);
+}
+
+bool RevisedSimplex::accuracy_ok(double feas_tol) const {
+  // Terminal safety net against product-form drift: bounds and row
+  // residuals must hold at a loose multiple of the feasibility
+  // tolerance, else the result is discarded (Error -> fallback).
+  const double tol = 10.0 * feas_tol;
+  for (int j = 0; j < total_; ++j) {
+    const double xj = x_[j];
+    if (std::isfinite(cl_[j]) && xj < cl_[j] - tol * (1.0 + std::abs(cl_[j]))) {
+      return false;
+    }
+    if (std::isfinite(cu_[j]) && xj > cu_[j] + tol * (1.0 + std::abs(cu_[j]))) {
+      return false;
+    }
+  }
+  std::vector<double> resid = form_.rhs;
+  for (int j = 0; j < total_; ++j) {
+    const double xj = x_[j];
+    if (xj == 0.0) continue;
+    if (j < n_) {
+      for (int t = form_.col_start[j]; t < form_.col_start[j + 1]; ++t) {
+        resid[form_.col_row[t]] -= form_.col_val[t] * xj;
+      }
+    } else {
+      resid[j < n_ + m_ ? j - n_ : j - n_ - m_] -= xj;
+    }
+  }
+  for (int i = 0; i < m_; ++i) {
+    if (std::abs(resid[i]) > tol * (1.0 + std::abs(form_.rhs[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double RevisedSimplex::phase1_objective() const {
+  double obj = 0.0;
+  for (int i = 0; i < m_; ++i) {
+    const int a = form_.artificial_col(i);
+    obj += cost1_[a] * x_[a];
+  }
+  return obj;
+}
+
+bool RevisedSimplex::exchange(int r, int q, const std::vector<double>& w,
+                              double pivot_tol) {
+  const int leaving = basic_[r];
+  basic_[r] = q;
+  pos_[leaving] = -1;
+  pos_[q] = r;
+  status_[q] = VarStatus::Basic;
+  if (!factor_.update(r, w, pivot_tol)) {
+    // The cheap update rejected the pivot element; a full
+    // refactorization of the already-swapped basis usually survives.
+    return refactorize(pivot_tol);
+  }
+  // Keep the cache key honest: factor_ now represents the post-exchange
+  // basis, so the next solve's cache lookup must compare against it —
+  // matching the pre-update snapshot would reuse a wrong inverse.
+  if (static_cast<int>(factored_basic_.size()) == m_) factored_basic_[r] = q;
+  return true;
+}
+
+SolveStatus RevisedSimplex::primal_iterate(const std::vector<double>& cost,
+                                           bool phase1,
+                                           const SimplexOptions& opt,
+                                           long* iters) {
+  long degen_streak = 0;
+  bool bland = false;
+  for (;;) {
+    if (*iters >= opt.max_iterations) return SolveStatus::IterationLimit;
+    if ((*iters & 15) == 0 && watch_.seconds() > opt.time_limit_seconds) {
+      return SolveStatus::TimeLimit;
+    }
+    if (factor_.needs_refactor() && !refactorize(opt.pivot_tol)) {
+      return SolveStatus::Error;
+    }
+    if (phase1 && phase1_objective() <= 0.25 * opt.feas_tol) {
+      return SolveStatus::Optimal;
+    }
+
+    compute_y(cost, y_);
+
+    // Pricing: Dantzig (most negative reduced cost in the moving
+    // direction); Bland's rule (first eligible) after a stall.
+    int q = -1;
+    int dir = 0;
+    double best = opt.cost_tol;
+    for (int j = 0; j < total_; ++j) {
+      if (status_[j] == VarStatus::Basic) continue;
+      if (cu_[j] - cl_[j] <= 0.0) continue;  // fixed: can't move
+      const double d = cost[j] - col_dot(y_, j);
+      double score = 0.0;
+      int jdir = 0;
+      switch (status_[j]) {
+        case VarStatus::AtLower:
+          if (d < -opt.cost_tol) {
+            score = -d;
+            jdir = 1;
+          }
+          break;
+        case VarStatus::AtUpper:
+          if (d > opt.cost_tol) {
+            score = d;
+            jdir = -1;
+          }
+          break;
+        case VarStatus::Free:
+          if (std::abs(d) > opt.cost_tol) {
+            score = std::abs(d);
+            jdir = d < 0.0 ? 1 : -1;
+          }
+          break;
+        case VarStatus::Basic:
+          break;
+      }
+      if (jdir == 0) continue;
+      if (bland) {
+        q = j;
+        dir = jdir;
+        break;
+      }
+      if (score > best) {
+        best = score;
+        q = j;
+        dir = jdir;
+      }
+    }
+    if (q < 0) return SolveStatus::Optimal;
+
+    ftran_column(q, w_);
+
+    // Bounded ratio test. Entering moves by dir * step; basic i moves by
+    // -dir * step * w[i]. Steps clamp at >= 0 so tiny tolerance
+    // violations trigger a degenerate pivot instead of growing.
+    double limit = kInf;
+    int leave = -1;
+    bool leave_up = false;
+    for (int i = 0; i < m_; ++i) {
+      const double g = dir * w_[i];
+      const int b = basic_[i];
+      double ratio;
+      bool to_upper;
+      if (g > opt.pivot_tol) {
+        if (!std::isfinite(cl_[b])) continue;
+        ratio = (x_[b] - cl_[b]) / g;
+        to_upper = false;
+      } else if (g < -opt.pivot_tol) {
+        if (!std::isfinite(cu_[b])) continue;
+        ratio = (cu_[b] - x_[b]) / (-g);
+        to_upper = true;
+      } else {
+        continue;
+      }
+      if (ratio < 0.0) ratio = 0.0;
+      bool take;
+      if (leave < 0 || ratio < limit - kRatioTieTol) {
+        take = true;
+      } else if (ratio <= limit + kRatioTieTol) {
+        take = bland ? b < basic_[leave]
+                     : std::abs(w_[i]) > std::abs(w_[leave]);
+      } else {
+        take = false;
+      }
+      if (take) {
+        limit = std::min(limit, ratio);
+        leave = i;
+        leave_up = to_upper;
+      }
+    }
+
+    // Bound flip: the entering column reaches its opposite bound before
+    // any basic column blocks.
+    const double flip = std::isfinite(cl_[q]) && std::isfinite(cu_[q])
+                            ? cu_[q] - cl_[q]
+                            : kInf;
+    if (std::isfinite(flip) && flip <= limit + kRatioTieTol) {
+      for (int i = 0; i < m_; ++i) {
+        x_[basic_[i]] -= dir * flip * w_[i];
+      }
+      x_[q] = dir > 0 ? cu_[q] : cl_[q];
+      status_[q] = dir > 0 ? VarStatus::AtUpper : VarStatus::AtLower;
+      ++*iters;
+      c_bound_flips.inc();
+      continue;
+    }
+    if (leave < 0) {
+      // Phase 1 minimizes a sum of absolute values — it cannot be
+      // unbounded, so an unbounded ray there is a numerical failure.
+      return phase1 ? SolveStatus::Error : SolveStatus::Unbounded;
+    }
+
+    const double step = limit;
+    const int lcol = basic_[leave];
+    for (int i = 0; i < m_; ++i) {
+      if (i == leave) continue;
+      x_[basic_[i]] -= dir * step * w_[i];
+    }
+    x_[lcol] = leave_up ? cu_[lcol] : cl_[lcol];
+    status_[lcol] = leave_up ? VarStatus::AtUpper : VarStatus::AtLower;
+    x_[q] += dir * step;
+    if (!exchange(leave, q, w_, opt.pivot_tol)) return SolveStatus::Error;
+    ++*iters;
+    c_revised_pivots.inc();
+
+    if (step <= kDegenerateStep) {
+      if (++degen_streak >= opt.stall_limit && !bland) bland = true;
+    } else {
+      degen_streak = 0;
+    }
+  }
+}
+
+SolveStatus RevisedSimplex::dual_iterate(const SimplexOptions& opt,
+                                         long* iters) {
+  long degen_streak = 0;
+  bool bland = false;
+  for (;;) {
+    if (*iters >= opt.max_iterations) return SolveStatus::IterationLimit;
+    if ((*iters & 15) == 0 && watch_.seconds() > opt.time_limit_seconds) {
+      return SolveStatus::TimeLimit;
+    }
+    if (factor_.needs_refactor() && !refactorize(opt.pivot_tol)) {
+      return SolveStatus::Error;
+    }
+
+    // Leaving: worst (relatively scaled) bound violation among basics.
+    int r = -1;
+    double worst = opt.feas_tol;
+    bool below = false;
+    for (int i = 0; i < m_; ++i) {
+      const int b = basic_[i];
+      if (std::isfinite(cl_[b])) {
+        const double v = (cl_[b] - x_[b]) / (1.0 + std::abs(cl_[b]));
+        if (v > worst) {
+          worst = v;
+          r = i;
+          below = true;
+        }
+      }
+      if (std::isfinite(cu_[b])) {
+        const double v = (x_[b] - cu_[b]) / (1.0 + std::abs(cu_[b]));
+        if (v > worst) {
+          worst = v;
+          r = i;
+          below = false;
+        }
+      }
+    }
+    if (r < 0) return SolveStatus::Optimal;  // primal feasible
+
+    const int brow = basic_[r];
+    const double target = below ? cl_[brow] : cu_[brow];
+
+    // rho = row r of B^{-1}; alpha_j = rho' A_j.
+    rho_.assign(m_, 0.0);
+    rho_[r] = 1.0;
+    factor_.btran(rho_);
+    compute_y(cost2_, y_);
+
+    // Entering: dual ratio test. Eligibility keeps the step direction
+    // that repairs x_r; min |d|/|alpha| preserves dual feasibility.
+    int q = -1;
+    double best_ratio = kInf;
+    double best_alpha = 0.0;
+    for (int j = 0; j < total_; ++j) {
+      if (status_[j] == VarStatus::Basic) continue;
+      if (cu_[j] - cl_[j] <= 0.0) continue;
+      const double alpha = col_dot(rho_, j);
+      if (std::abs(alpha) <= opt.pivot_tol) continue;
+      bool ok = false;
+      switch (status_[j]) {
+        case VarStatus::AtLower:
+          ok = below ? alpha < 0.0 : alpha > 0.0;
+          break;
+        case VarStatus::AtUpper:
+          ok = below ? alpha > 0.0 : alpha < 0.0;
+          break;
+        case VarStatus::Free:
+          ok = true;
+          break;
+        case VarStatus::Basic:
+          break;
+      }
+      if (!ok) continue;
+      const double d = cost2_[j] - col_dot(y_, j);
+      const double ratio = std::max(std::abs(d), 0.0) / std::abs(alpha);
+      bool take;
+      if (q < 0 || ratio < best_ratio - kRatioTieTol) {
+        take = true;
+      } else if (ratio <= best_ratio + kRatioTieTol) {
+        // Ascending j, so in Bland mode the first minimum sticks.
+        take = !bland && std::abs(alpha) > std::abs(best_alpha);
+      } else {
+        take = false;
+      }
+      if (take) {
+        best_ratio = std::min(best_ratio, ratio);
+        best_alpha = alpha;
+        q = j;
+      }
+    }
+    if (q < 0) {
+      // Dual unbounded along the repairing direction: the primal child
+      // is infeasible (rho is the Farkas row certificate).
+      return SolveStatus::Infeasible;
+    }
+
+    // x_r moves to its violated bound; the entering column absorbs the
+    // step. (No dual bound-flip ratio test: if x_q overshoots its own
+    // box it simply becomes the next leaving candidate — correctness is
+    // preserved because dual feasibility is, at the cost of an extra
+    // pivot in rare cases.)
+    const double theta = (x_[brow] - target) / best_alpha;
+    ftran_column(q, w_);
+    for (int i = 0; i < m_; ++i) {
+      if (i == r) continue;
+      x_[basic_[i]] -= theta * w_[i];
+    }
+    x_[brow] = target;
+    status_[brow] = below ? VarStatus::AtLower : VarStatus::AtUpper;
+    x_[q] += theta;
+    if (!exchange(r, q, w_, opt.pivot_tol)) return SolveStatus::Error;
+    ++*iters;
+    c_dual_pivots.inc();
+
+    if (best_ratio <= kDegenerateStep) {
+      if (++degen_streak >= opt.stall_limit && !bland) bland = true;
+    } else {
+      degen_streak = 0;
+    }
+  }
+}
+
+SolveStatus RevisedSimplex::solve_cold(const SimplexOptions& opt,
+                                       const std::vector<double>& lb,
+                                       const std::vector<double>& ub,
+                                       long* iterations) {
+  watch_.reset();
+  *iterations = 0;
+  set_bounds(lb, ub);
+
+  // Crash point: structurals at their nearest finite bound (free at 0).
+  for (int j = 0; j < n_; ++j) {
+    if (std::isfinite(cl_[j])) {
+      status_[j] = VarStatus::AtLower;
+      x_[j] = cl_[j];
+    } else if (std::isfinite(cu_[j])) {
+      status_[j] = VarStatus::AtUpper;
+      x_[j] = cu_[j];
+    } else {
+      status_[j] = VarStatus::Free;
+      x_[j] = 0.0;
+    }
+  }
+
+  // Row residuals at the crash point decide the starting basis: the
+  // logical column covers a nonnegative-residual inequality row; every
+  // other row opens its artificial (sign carried by the artificial's
+  // per-solve bounds and phase-1 cost, the matrix column is always +e_i
+  // so any leftover basis refactorizes identically in later solves).
+  resid_ = form_.rhs;
+  for (int j = 0; j < n_; ++j) {
+    const double xj = x_[j];
+    if (xj == 0.0) continue;
+    for (int t = form_.col_start[j]; t < form_.col_start[j + 1]; ++t) {
+      resid_[form_.col_row[t]] -= form_.col_val[t] * xj;
+    }
+  }
+  cost1_.assign(total_, 0.0);
+  basic_.clear();
+  bool need_phase1 = false;
+  for (int i = 0; i < m_; ++i) {
+    const int s = form_.logical_col(i);
+    const int a = form_.artificial_col(i);
+    const double r = resid_[i];
+    status_[s] = VarStatus::AtLower;
+    x_[s] = 0.0;
+    status_[a] = VarStatus::AtLower;
+    x_[a] = 0.0;
+    if (!form_.row_is_eq[i] && r >= 0.0) {
+      basic_.push_back(s);
+      status_[s] = VarStatus::Basic;
+      x_[s] = r;
+    } else {
+      basic_.push_back(a);
+      status_[a] = VarStatus::Basic;
+      x_[a] = r;
+      if (r >= 0.0) {
+        cl_[a] = 0.0;
+        cu_[a] = kInf;
+        cost1_[a] = 1.0;
+      } else {
+        cl_[a] = -kInf;
+        cu_[a] = 0.0;
+        cost1_[a] = -1.0;
+      }
+      if (std::abs(r) > 0.25 * opt.feas_tol) need_phase1 = true;
+    }
+  }
+  rebuild_positions();
+  if (!refactorize(opt.pivot_tol)) return SolveStatus::Error;
+
+  if (need_phase1) {
+    const SolveStatus st =
+        primal_iterate(cost1_, /*phase1=*/true, opt, iterations);
+    if (st != SolveStatus::Optimal) {
+      return st == SolveStatus::Unbounded ? SolveStatus::Error : st;
+    }
+    if (phase1_objective() > opt.feas_tol) return SolveStatus::Infeasible;
+  }
+
+  // Close the artificials for phase 2: nonbasic ones pin to zero; basic
+  // leftovers sit within the phase-1 tolerance and leave degenerately
+  // if phase 2 ever tries to move them.
+  for (int i = 0; i < m_; ++i) {
+    const int a = form_.artificial_col(i);
+    cl_[a] = 0.0;
+    cu_[a] = 0.0;
+    if (status_[a] != VarStatus::Basic) {
+      status_[a] = VarStatus::AtLower;
+      x_[a] = 0.0;
+    }
+  }
+
+  const SolveStatus st =
+      primal_iterate(cost2_, /*phase1=*/false, opt, iterations);
+  if (st == SolveStatus::Optimal && !accuracy_ok(opt.feas_tol)) {
+    return SolveStatus::Error;
+  }
+  return st;
+}
+
+SolveStatus RevisedSimplex::solve_warm(const SimplexOptions& opt,
+                                       const std::vector<double>& lb,
+                                       const std::vector<double>& ub,
+                                       const Basis& hint, long* iterations) {
+  watch_.reset();
+  *iterations = 0;
+  if (static_cast<int>(hint.status.size()) != total_) {
+    return SolveStatus::Error;
+  }
+  set_bounds(lb, ub);
+  status_ = hint.status;
+  cost1_.assign(total_, 0.0);  // artificials closed: no phase-1 costs
+
+  // Re-pin nonbasic columns to the (possibly tightened) child bounds.
+  for (int j = 0; j < total_; ++j) {
+    switch (status_[j]) {
+      case VarStatus::Basic:
+        break;
+      case VarStatus::AtLower:
+        if (std::isfinite(cl_[j])) {
+          x_[j] = cl_[j];
+        } else if (std::isfinite(cu_[j])) {
+          status_[j] = VarStatus::AtUpper;
+          x_[j] = cu_[j];
+        } else {
+          status_[j] = VarStatus::Free;
+          x_[j] = 0.0;
+        }
+        break;
+      case VarStatus::AtUpper:
+        if (std::isfinite(cu_[j])) {
+          x_[j] = cu_[j];
+        } else if (std::isfinite(cl_[j])) {
+          status_[j] = VarStatus::AtLower;
+          x_[j] = cl_[j];
+        } else {
+          status_[j] = VarStatus::Free;
+          x_[j] = 0.0;
+        }
+        break;
+      case VarStatus::Free:
+        if (std::isfinite(cl_[j])) {
+          status_[j] = VarStatus::AtLower;
+          x_[j] = cl_[j];
+        } else if (std::isfinite(cu_[j])) {
+          status_[j] = VarStatus::AtUpper;
+          x_[j] = cu_[j];
+        } else {
+          x_[j] = 0.0;
+        }
+        break;
+    }
+  }
+
+  basic_.clear();
+  for (int j = 0; j < total_; ++j) {
+    if (status_[j] == VarStatus::Basic) basic_.push_back(j);
+  }
+  if (static_cast<int>(basic_.size()) != m_) return SolveStatus::Error;
+  rebuild_positions();
+
+  // Factorization cache: while branch-and-bound plunges, consecutive
+  // warm solves often share the exact basis — skip the O(m^3) rebuild.
+  if (basic_ == factored_basic_ && factor_.valid() &&
+      !factor_.needs_refactor()) {
+    c_factor_cache_hits.inc();
+    compute_basic_values();
+  } else if (!refactorize(opt.pivot_tol)) {
+    return SolveStatus::Error;
+  }
+
+  // Restore dual feasibility. A parent-optimal basis is dual feasible
+  // by construction (costs and matrix unchanged), but re-pinned columns
+  // may sit at the wrong bound for their reduced-cost sign — a free
+  // bound flip fixes those. Columns that cannot be repaired (no
+  // opposite bound) void the warm start.
+  compute_y(cost2_, y_);
+  const double flip_tol = opt.cost_tol;
+  const double bail_tol = 100.0 * opt.cost_tol;
+  bool flipped = false;
+  for (int j = 0; j < total_; ++j) {
+    if (status_[j] == VarStatus::Basic) continue;
+    if (cu_[j] - cl_[j] <= 0.0) continue;  // fixed: any sign is fine
+    const double d = cost2_[j] - col_dot(y_, j);
+    if (status_[j] == VarStatus::AtLower && d < -flip_tol) {
+      if (std::isfinite(cu_[j])) {
+        status_[j] = VarStatus::AtUpper;
+        x_[j] = cu_[j];
+        flipped = true;
+      } else if (d < -bail_tol) {
+        return SolveStatus::Error;
+      }
+    } else if (status_[j] == VarStatus::AtUpper && d > flip_tol) {
+      if (std::isfinite(cl_[j])) {
+        status_[j] = VarStatus::AtLower;
+        x_[j] = cl_[j];
+        flipped = true;
+      } else if (d > bail_tol) {
+        return SolveStatus::Error;
+      }
+    } else if (status_[j] == VarStatus::Free && std::abs(d) > bail_tol) {
+      return SolveStatus::Error;
+    }
+  }
+  if (flipped) compute_basic_values();
+
+  const SolveStatus st = dual_iterate(opt, iterations);
+  if (st == SolveStatus::Optimal && !accuracy_ok(opt.feas_tol)) {
+    return SolveStatus::Error;
+  }
+  return st;
+}
+
+void RevisedSimplex::primal_values(std::vector<double>& x) const {
+  x.assign(x_.begin(), x_.begin() + n_);
+}
+
+double RevisedSimplex::model_objective() const {
+  double internal = form_.cost_offset;
+  for (int j = 0; j < n_; ++j) internal += form_.cost[j] * x_[j];
+  return form_.obj_scale * internal;  // obj_scale is +-1, its own inverse
+}
+
+void RevisedSimplex::extract_duals(const Model& model,
+                                   std::vector<double>& duals,
+                                   std::vector<double>& reduced_costs) const {
+  std::vector<double> y;
+  compute_y(cost2_, y);
+  duals.assign(model.num_constraints(), 0.0);
+  // Derivation against check::certify_lp's canonical signs (sig = +1 for
+  // LessEqual, -1 for GreaterEqual AND Equal) with our row scaling
+  // (sigma = -1 only for GreaterEqual): lambda_i = -y_i * sigma_i / sig_i,
+  // which collapses to -y_i for both inequality senses and +y_i for
+  // equalities.
+  for (int i = 0; i < m_; ++i) {
+    duals[form_.source_con[i]] = form_.row_is_eq[i] ? y[i] : -y[i];
+  }
+  // Structural columns map 1:1 to model variables with untransformed
+  // coefficients, so reduced costs are direct.
+  reduced_costs.assign(model.num_vars(), 0.0);
+  for (int v = 0; v < n_; ++v) {
+    reduced_costs[v] = cost2_[v] - col_dot(y, v);
+  }
+}
+
+void RevisedSimplex::export_basis(Basis& out) const { out.status = status_; }
+
+}  // namespace metaopt::lp

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <vector>
 
 #include "check/certify.h"
+#include "lp/revised_simplex.h"
 #include "obs/obs.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -20,6 +22,9 @@ const obs::Counter c_pivots = obs::counter("simplex.pivots");
 const obs::Counter c_degenerate = obs::counter("simplex.degenerate_pivots");
 const obs::Counter c_bland = obs::counter("simplex.bland_switches");
 const obs::Counter c_phase1 = obs::counter("simplex.phase1_solves");
+const obs::Counter c_warm_solves = obs::counter("simplex.warm_solves");
+const obs::Counter c_warm_fallbacks = obs::counter("simplex.warm_fallbacks");
+const obs::Counter c_cold_revised = obs::counter("simplex.cold_revised_solves");
 const obs::Histogram h_solve_ns = obs::histogram("simplex.solve_ns");
 
 /// Dense tableau state for one solve.
@@ -304,6 +309,92 @@ Solution SimplexSolver::solve_with_bounds(const Model& model,
   Solution sol = solve_standard(StandardForm::build(model, lb.data(), ub.data()),
                                 model);
   maybe_certify(model, sol, &lb, &ub);
+  return sol;
+}
+
+Solution SimplexSolver::solve_with_bounds(const Model& model,
+                                          const std::vector<double>& lb,
+                                          const std::vector<double>& ub,
+                                          WarmStartContext& warm) const {
+  warm.set_result(nullptr);
+  bool accepted = false;
+  if (warm.hint != nullptr) {
+    Solution sol = solve_revised(model, lb, ub, warm, /*use_hint=*/true,
+                                 &accepted);
+    if (accepted) {
+      warm.last_path = WarmStartContext::Path::WarmDual;
+      c_warm_solves.inc();
+      return sol;
+    }
+    c_warm_fallbacks.inc();
+  }
+  {
+    Solution sol = solve_revised(model, lb, ub, warm, /*use_hint=*/false,
+                                 &accepted);
+    if (accepted) {
+      warm.last_path = WarmStartContext::Path::ColdRevised;
+      c_cold_revised.inc();
+      return sol;
+    }
+  }
+  warm.last_path = WarmStartContext::Path::Tableau;
+  return solve_with_bounds(model, lb, ub);
+}
+
+Solution SimplexSolver::solve_revised(const Model& model,
+                                      const std::vector<double>& lb,
+                                      const std::vector<double>& ub,
+                                      WarmStartContext& warm, bool use_hint,
+                                      bool* accepted) const {
+  *accepted = false;
+  util::Stopwatch watch;
+  RevisedSimplex& engine = warm.engine;
+  Solution sol;
+  long iters = 0;
+  sol.status = use_hint
+                   ? engine.solve_warm(options_, lb, ub, *warm.hint, &iters)
+                   : engine.solve_cold(options_, lb, ub, &iters);
+  sol.iterations = iters;
+  sol.solve_seconds = watch.seconds();
+  switch (sol.status) {
+    case SolveStatus::Error:
+    case SolveStatus::IterationLimit:
+    case SolveStatus::Feasible:  // never produced by the revised core
+      // Not trustworthy (or not terminal): drop to the next rung.
+      return sol;
+    case SolveStatus::TimeLimit:
+      // Retrying on a slower rung would double-spend an exhausted
+      // budget; report honestly instead.
+      *accepted = true;
+      return sol;
+    case SolveStatus::Infeasible:
+      *accepted = true;
+      return sol;
+    case SolveStatus::Unbounded:
+      engine.primal_values(sol.values);
+      sol.objective = engine.model_objective();
+      sol.best_bound = sol.objective;
+      *accepted = true;
+      return sol;
+    case SolveStatus::Optimal:
+      break;
+  }
+  engine.primal_values(sol.values);
+  sol.objective = engine.model_objective();
+  sol.best_bound = sol.objective;
+  if (options_.want_duals) {
+    engine.extract_duals(model, sol.duals, sol.reduced_costs);
+  }
+  maybe_certify(model, sol, &lb, &ub);
+  if (options_.certify && !sol.certified) {
+    // The independent certifier rejected this rung's optimum; fall back
+    // rather than propagate a dubious answer (maybe_certify logged it).
+    return sol;
+  }
+  auto basis = std::make_shared<Basis>();
+  engine.export_basis(*basis);
+  warm.set_result(std::move(basis));
+  *accepted = true;
   return sol;
 }
 

@@ -39,6 +39,8 @@ struct SimplexOptions {
   bool certify = kCertifyByDefault;
 };
 
+class WarmStartContext;
+
 class SimplexSolver {
  public:
   explicit SimplexSolver(SimplexOptions options = {}) : options_(options) {}
@@ -52,10 +54,34 @@ class SimplexSolver {
                                            const std::vector<double>& lb,
                                            const std::vector<double>& ub) const;
 
+  /// Same, through the warm-started revised simplex core. Rungs of a
+  /// fallback ladder, first trustworthy answer wins:
+  ///   1. bounded dual simplex from `warm.hint` (when non-null),
+  ///   2. cold revised simplex,
+  ///   3. the dense-tableau solver above (always succeeds or reports
+  ///      honestly — same contract as the two-argument overload).
+  /// Records the winning rung in warm.last_path and, when a revised rung
+  /// proved optimality, the optimal basis in warm (take_result()).
+  [[nodiscard]] Solution solve_with_bounds(const Model& model,
+                                           const std::vector<double>& lb,
+                                           const std::vector<double>& ub,
+                                           WarmStartContext& warm) const;
+
   [[nodiscard]] const SimplexOptions& options() const { return options_; }
+
+  /// Adjusts the per-solve time budget on an existing solver instance
+  /// (branch-and-bound shrinks it as the global deadline approaches).
+  void set_time_limit(double seconds) { options_.time_limit_seconds = seconds; }
 
  private:
   Solution solve_standard(const StandardForm& sf, const Model& model) const;
+
+  /// One revised-simplex rung (warm when use_hint, else cold). Sets
+  /// *accepted when the result can be returned as-is; otherwise the
+  /// caller drops to the next rung.
+  Solution solve_revised(const Model& model, const std::vector<double>& lb,
+                         const std::vector<double>& ub, WarmStartContext& warm,
+                         bool use_hint, bool* accepted) const;
 
   /// When options_.certify is set, runs check::certify_lp on an Optimal
   /// `sol` against `model` (with `lb`/`ub` overriding the model bounds

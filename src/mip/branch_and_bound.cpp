@@ -8,6 +8,7 @@
 #include "check/certify.h"
 #include "check/lint.h"
 #include "lp/presolve.h"
+#include "lp/revised_simplex.h"
 #include "obs/obs.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -28,6 +29,9 @@ const obs::Counter c_pruned_bound = obs::counter("bnb.nodes_pruned_bound");
 const obs::Counter c_pruned_infeas =
     obs::counter("bnb.nodes_pruned_infeasible");
 const obs::Counter c_incumbents = obs::counter("bnb.incumbent_updates");
+const obs::Counter c_lp_solves = obs::counter("bnb.lp_solves");
+const obs::Counter c_solver_instances = obs::counter("bnb.solver_instances");
+const obs::Gauge g_basis_reuse = obs::gauge("bnb.basis_reuse_ratio");
 const obs::Histogram h_solve_ns = obs::histogram("bnb.solve_ns");
 const obs::Histogram h_node_ns = obs::histogram("bnb.node_ns");
 
@@ -44,6 +48,9 @@ struct Node {
   std::vector<BoundChange> changes;
   double bound = 0.0;  ///< parent relaxation objective (valid for children)
   int depth = 0;
+  /// Parent's optimal basis (statuses only, shared across siblings);
+  /// null when the parent's answer came from the tableau fallback.
+  std::shared_ptr<const lp::Basis> basis;
 
   /// Deep plunges create chains thousands of nodes long; default
   /// shared_ptr teardown would recurse once per ancestor and blow the
@@ -177,6 +184,22 @@ Solution BranchAndBound::solve(const Model& model,
   SolveStatus stop_reason = SolveStatus::Optimal;
   double best_open_bound = root_score;
 
+  // Hoisted per-tree solver state: one SimplexSolver (per-node time
+  // budget adjusted in place), one presolve scratch buffer, and — when
+  // warm starts are on — one BoundedForm + revised-simplex engine
+  // serving every node of the tree.
+  lp::SimplexSolver lp_solver(lp_opts);
+  c_solver_instances.inc();
+  lp::PresolveOptions popts;
+  popts.max_rounds = 3;
+  lp::PresolveResult pre;
+  std::unique_ptr<lp::WarmStartContext> warm;
+  if (options_.use_warm_start) {
+    warm = std::make_unique<lp::WarmStartContext>(model);
+  }
+  long lp_solve_count = 0;
+  long warm_reuse_count = 0;
+
   while (!queue.empty()) {
     if (watch.seconds() > options_.time_limit_seconds) {
       stopped_early = true;
@@ -236,9 +259,7 @@ Solution BranchAndBound::solve(const Model& model,
     }
 
     if (options_.use_presolve) {
-      lp::PresolveOptions popts;
-      popts.max_rounds = 3;
-      const lp::PresolveResult pre = lp::presolve(model, popts, &lbs, &ubs);
+      lp::presolve_into(model, popts, &lbs, &ubs, pre);
       if (pre.infeasible) {
         c_pruned_infeas.inc();
         continue;
@@ -249,10 +270,23 @@ Solution BranchAndBound::solve(const Model& model,
 
     // Cap each node LP at the remaining budget so one long relaxation
     // cannot blow through the overall time limit.
-    lp_opts.time_limit_seconds =
-        std::max(0.05, options_.time_limit_seconds - watch.seconds());
-    const lp::SimplexSolver lp_solver(lp_opts);
-    Solution relax = lp_solver.solve_with_bounds(model, lbs, ubs);
+    lp_solver.set_time_limit(
+        std::max(0.05, options_.time_limit_seconds - watch.seconds()));
+    ++lp_solve_count;
+    c_lp_solves.inc();
+    std::shared_ptr<const lp::Basis> node_basis;
+    Solution relax;
+    if (warm) {
+      warm->hint = entry.node ? entry.node->basis.get() : nullptr;
+      relax = lp_solver.solve_with_bounds(model, lbs, ubs, *warm);
+      node_basis = warm->take_result();
+      if (warm->hint != nullptr &&
+          warm->last_path == lp::WarmStartContext::Path::WarmDual) {
+        ++warm_reuse_count;
+      }
+    } else {
+      relax = lp_solver.solve_with_bounds(model, lbs, ubs);
+    }
     if (relax.status == SolveStatus::TimeLimit) {
       stopped_early = true;
       stop_reason = SolveStatus::TimeLimit;
@@ -278,6 +312,7 @@ Solution BranchAndBound::solve(const Model& model,
             child->changes = {BoundChange{v, fix, fix}};
             child->bound = dir > 0 ? lp::kInf : -lp::kInf;
             child->depth = entry.node ? entry.node->depth + 1 : 1;
+            child->basis = node_basis;  // null here (unbounded parent)
             queue.push(QueueEntry{lp::kInf, seq++, std::move(child)});
           };
           push(0.0);
@@ -296,6 +331,7 @@ Solution BranchAndBound::solve(const Model& model,
             child->changes = {BoundChange{side, lbs[side], 0.0}};
             child->bound = dir > 0 ? lp::kInf : -lp::kInf;
             child->depth = entry.node ? entry.node->depth + 1 : 1;
+            child->basis = node_basis;  // null here (unbounded parent)
             queue.push(QueueEntry{lp::kInf, seq++, std::move(child)});
           }
           branched = true;
@@ -305,6 +341,10 @@ Solution BranchAndBound::solve(const Model& model,
       best.status = SolveStatus::Unbounded;
       best.iterations = nodes;
       best.solve_seconds = watch.seconds();
+      if (lp_solve_count > 0) {
+        g_basis_reuse.set(static_cast<double>(warm_reuse_count) /
+                          static_cast<double>(lp_solve_count));
+      }
       return best;
     }
     if (!relax.has_solution()) {
@@ -371,6 +411,7 @@ Solution BranchAndBound::solve(const Model& model,
       child->changes = std::move(changes);
       child->bound = node_bound;
       child->depth = entry.node ? entry.node->depth + 1 : 1;
+      child->basis = node_basis;  // siblings share the parent basis
       queue.push(QueueEntry{dir * node_bound, seq++, std::move(child)});
     };
 
@@ -390,6 +431,10 @@ Solution BranchAndBound::solve(const Model& model,
 
   best.iterations = nodes;
   best.solve_seconds = watch.seconds();
+  if (lp_solve_count > 0) {
+    g_basis_reuse.set(static_cast<double>(warm_reuse_count) /
+                      static_cast<double>(lp_solve_count));
+  }
   if (have_incumbent) {
     best.objective = incumbent_obj;
     best.values = std::move(incumbent_values);

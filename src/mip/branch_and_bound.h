@@ -47,6 +47,12 @@ struct MipOptions {
   /// infeasible nodes without an LP solve and shrinks node LPs by fixing
   /// variables (big-M indicator rows propagate well).
   bool use_presolve = true;
+  /// Warm-start node relaxations: each child re-solves from its parent's
+  /// optimal basis via the revised dual simplex instead of a cold
+  /// tableau solve (falls back automatically per node when a basis is
+  /// stale or numerically unusable). Off forces every node cold —
+  /// identical answers, useful for differential tests and benchmarks.
+  bool use_warm_start = true;
   /// Lint the model before the search and run check::certify_mip on the
   /// final incumbent, recording the outcome in Solution::certified
   /// (failures are logged at Error level). On by default in Debug

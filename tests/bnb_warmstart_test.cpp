@@ -1,0 +1,241 @@
+// Warm-started branch-and-bound: differential equivalence (warm on vs
+// off must reach identical incumbents and proven bounds), solver-hoist
+// and warm-start observability counters, and target_objective early
+// stops reporting a bound that still covers the true optimum.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/adversarial.h"
+#include "mip/branch_and_bound.h"
+#include "net/topologies.h"
+#include "obs/metrics.h"
+#include "te/demand.h"
+#include "util/rng.h"
+
+namespace metaopt::mip {
+namespace {
+
+using lp::LinExpr;
+using lp::Model;
+using lp::ObjSense;
+using lp::SolveStatus;
+using lp::Var;
+
+double metric(const obs::MetricsSnapshot& snap, const std::string& name) {
+  const obs::MetricValue* m = snap.find(name);
+  return m ? m->value : 0.0;
+}
+
+/// A knapsack-with-side-constraints family sized to force real
+/// branching: fractional LP optima, conflicting cover rows, and a
+/// continuous coupling variable so node LPs are not pure-binary.
+Model make_random_mip(util::Rng& rng, int* n_out = nullptr) {
+  const int n = rng.uniform_int(4, 8);
+  if (n_out != nullptr) *n_out = n;
+  Model m;
+  std::vector<Var> xs;
+  xs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    xs.push_back(m.add_binary("b" + std::to_string(i)));
+  }
+  const Var y = m.add_var("y", 0.0, rng.uniform(2.0, 5.0));
+
+  LinExpr weight;
+  LinExpr profit;
+  double total_weight = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double w = rng.uniform(1.0, 5.0);
+    const double p = rng.uniform(1.0, 6.0);
+    total_weight += w;
+    weight += w * LinExpr(xs[i]);
+    profit += p * LinExpr(xs[i]);
+  }
+  // Capacity strictly inside (0, total): the LP relaxation sits on the
+  // knapsack facet with a fractional item, so the root always branches.
+  const double cap = total_weight * rng.uniform(0.35, 0.65);
+  m.add_constraint(weight + 0.5 * y <= LinExpr(cap));
+  // A cover row conflicting with the capacity keeps subtrees alive.
+  LinExpr cover;
+  for (int i = 0; i < n; i += 2) cover += LinExpr(xs[i]);
+  m.add_constraint(cover + y >= LinExpr(1.0));
+  m.set_objective(ObjSense::Maximize, profit + 0.25 * y);
+  return m;
+}
+
+TEST(BnbWarmStart, RandomMipsAgreeWarmVsCold) {
+  // Differential sweep: the warm-start path must be invisible in the
+  // answers — same status, same optimal objective, same proven bound.
+  util::Rng rng(util::derive_seed(20260807, 41));
+  MipOptions warm_opt;
+  warm_opt.use_warm_start = true;
+  MipOptions cold_opt;
+  cold_opt.use_warm_start = false;
+  int branched = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const Model m = make_random_mip(rng);
+    const auto warm = BranchAndBound(warm_opt).solve(m);
+    const auto cold = BranchAndBound(cold_opt).solve(m);
+    ASSERT_EQ(warm.status, cold.status) << "trial " << trial;
+    ASSERT_EQ(warm.status, SolveStatus::Optimal) << "trial " << trial;
+    EXPECT_NEAR(warm.objective, cold.objective, 1e-6) << "trial " << trial;
+    EXPECT_NEAR(warm.best_bound, cold.best_bound, 1e-6) << "trial " << trial;
+    if (warm.iterations > 1) ++branched;
+  }
+  // The family is built to branch; if it stopped doing so the sweep
+  // would silently stop exercising basis inheritance.
+  EXPECT_GT(branched, 20);
+}
+
+TEST(BnbWarmStart, Fig1DpGapIdenticalWarmVsCold) {
+  // Paper-scale differential check: the Fig. 1 worst-case DP gap (100,
+  // proven) must come out identical with node warm-starting on or off.
+  const net::Topology topo = net::topologies::fig1();
+  const te::PathSet paths(topo, te::all_pairs(topo), 2);
+  core::AdversarialGapFinder finder(topo, paths);
+  te::DpConfig dp;
+  dp.threshold = 50.0;
+  core::AdversarialOptions options;
+  options.mip.time_limit_seconds = 60.0;
+  options.seed_search_seconds = 0.25;
+  options.demand_ub = 200.0;
+
+  options.mip.use_warm_start = true;
+  const core::AdversarialResult warm = finder.find_dp_gap(dp, options);
+  options.mip.use_warm_start = false;
+  const core::AdversarialResult cold = finder.find_dp_gap(dp, options);
+
+  ASSERT_EQ(warm.status, lp::SolveStatus::Optimal);
+  ASSERT_EQ(cold.status, lp::SolveStatus::Optimal);
+  EXPECT_NEAR(warm.gap, 100.0, 1e-4);
+  EXPECT_NEAR(warm.gap, cold.gap, 1e-6);
+  EXPECT_NEAR(warm.bound, cold.bound, 1e-6);
+  EXPECT_NEAR(warm.opt_value, cold.opt_value, 1e-6);
+  EXPECT_NEAR(warm.heur_value, cold.heur_value, 1e-6);
+}
+
+TEST(BnbWarmStart, WarmSolveMetricsAndSolverHoist) {
+  // One warm B&B tree must (a) construct exactly one SimplexSolver for
+  // many node LPs — the hoist regression test — and (b) answer most
+  // child nodes on the warm dual path with rare fallbacks.
+  obs::set_enabled(true);
+  util::Rng rng(util::derive_seed(20260807, 42));
+  MipOptions opt;
+  opt.use_warm_start = true;
+  const Model m = make_random_mip(rng);
+
+  const obs::MetricsSnapshot before = obs::snapshot();
+  const auto sol = BranchAndBound(opt).solve(m);
+  const obs::MetricsSnapshot after = obs::snapshot();
+  obs::set_enabled(false);
+
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  ASSERT_GT(sol.iterations, 1) << "instance too easy to exercise warm starts";
+
+  const obs::MetricsSnapshot d = obs::diff(before, after);
+  EXPECT_EQ(metric(d, "bnb.solver_instances"), 1.0);
+  EXPECT_GT(metric(d, "bnb.lp_solves"), 1.0);
+
+  const double warm_solves = metric(d, "simplex.warm_solves");
+  const double fallbacks = metric(d, "simplex.warm_fallbacks");
+  EXPECT_GT(warm_solves, 0.0);
+  // Fallbacks should be the rare exception, not the steady state.
+  EXPECT_LE(fallbacks, warm_solves / 4.0 + 1.0);
+
+  // Gauge: fraction of node LPs answered from an inherited basis.
+  // diff() keeps `after`'s value, but read the full snapshot in case an
+  // identical earlier value made the delta zero and dropped the entry.
+  const obs::MetricValue* reuse = after.find("bnb.basis_reuse_ratio");
+  ASSERT_NE(reuse, nullptr);
+  EXPECT_GT(reuse->value, 0.0);
+  EXPECT_LE(reuse->value, 1.0);
+}
+
+TEST(BnbWarmStart, ColdTreeStillHoistsSolver) {
+  // The per-tree solver/presolve hoist is independent of warm-starting.
+  obs::set_enabled(true);
+  util::Rng rng(util::derive_seed(20260807, 43));
+  MipOptions opt;
+  opt.use_warm_start = false;
+  const Model m = make_random_mip(rng);
+
+  const obs::MetricsSnapshot before = obs::snapshot();
+  const auto sol = BranchAndBound(opt).solve(m);
+  const obs::MetricsSnapshot after = obs::snapshot();
+  obs::set_enabled(false);
+
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  const obs::MetricsSnapshot d = obs::diff(before, after);
+  EXPECT_EQ(metric(d, "bnb.solver_instances"), 1.0);
+  EXPECT_GT(metric(d, "bnb.lp_solves"), 1.0);
+  EXPECT_EQ(metric(d, "simplex.warm_solves"), 0.0);
+}
+
+TEST(BnbWarmStart, TargetObjectiveMaximizeReportsValidBound) {
+  // Binary-sweep stop (§3.3): reaching the target must not corrupt the
+  // proven bound — it still has to cover the true optimum (3.5 here:
+  // five 0.7-profit binaries fit under the 5.2 cardinality cap).
+  Model m;
+  std::vector<Var> xs;
+  LinExpr obj;
+  LinExpr lhs;
+  for (int i = 0; i < 6; ++i) {
+    xs.push_back(m.add_binary("b" + std::to_string(i)));
+    obj += 0.7 * LinExpr(xs[i]);
+    lhs += LinExpr(xs[i]);
+  }
+  m.add_constraint(lhs <= LinExpr(5.2));
+  m.set_objective(ObjSense::Maximize, obj);
+
+  MipOptions opt;
+  opt.target_objective = 0.5;
+  const auto sol = BranchAndBound(opt).solve(m);
+  ASSERT_TRUE(sol.has_solution());
+  EXPECT_GE(sol.objective, 0.5);
+  // The bound must stay on the correct side of both the incumbent and
+  // the true optimum, and below the root relaxation (0.7 * 5.2 = 3.64).
+  EXPECT_GE(sol.best_bound, sol.objective - 1e-9);
+  EXPECT_GE(sol.best_bound, 3.5 - 1e-6);
+  EXPECT_LE(sol.best_bound, 3.64 + 1e-6);
+}
+
+TEST(BnbWarmStart, TargetObjectiveMinimizeReportsValidBound) {
+  // Minimize mirror: "at least as good" means <= target, and the bound
+  // must stay a valid *lower* bound on the true optimum (4: pick c).
+  Model m;
+  const Var a = m.add_binary("a");
+  const Var b = m.add_binary("b");
+  const Var c = m.add_binary("c");
+  m.add_constraint(a + c >= LinExpr(1.0));
+  m.add_constraint(b + c >= LinExpr(1.0));
+  m.set_objective(ObjSense::Minimize, 3.0 * a + 3.0 * b + 4.0 * c);
+
+  MipOptions opt;
+  opt.target_objective = 6.5;  // both incumbents (6 and 4) qualify
+  const auto sol = BranchAndBound(opt).solve(m);
+  ASSERT_TRUE(sol.has_solution());
+  EXPECT_LE(sol.objective, 6.5);
+  EXPECT_LE(sol.best_bound, sol.objective + 1e-9);
+  EXPECT_LE(sol.best_bound, 4.0 + 1e-6);
+}
+
+TEST(BnbWarmStart, TargetObjectiveHitExactlyAtOptimumStaysOptimal) {
+  // A target no incumbent can beat must not demote a finished solve:
+  // the gap closes before the target trips, so the status is Optimal
+  // and the bound equals the objective.
+  Model m;
+  const Var a = m.add_binary("a");
+  const Var b = m.add_binary("b");
+  m.add_constraint(a + b <= LinExpr(1.0));
+  m.set_objective(ObjSense::Maximize, 2.0 * a + LinExpr(b));
+  MipOptions opt;
+  opt.target_objective = 10.0;  // unreachable: never stops the search
+  const auto sol = BranchAndBound(opt).solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-7);
+  EXPECT_NEAR(sol.best_bound, 2.0, 1e-7);
+}
+
+}  // namespace
+}  // namespace metaopt::mip

@@ -1,0 +1,297 @@
+// Differential fuzz harness for the revised simplex core.
+//
+// Seeded random LPs (mixed <=/>=/== rows, negative right-hand sides,
+// free/bounded/fixed variables, both objective senses) are solved three
+// ways and must agree:
+//   * the dense-tableau solver (reference),
+//   * the cold revised simplex (via the warm-start ladder with no hint),
+//   * the warm dual simplex re-solving a bound-tightened child from the
+//     parent-optimal basis, against a cold solve of the same child.
+// Optimal solves additionally pass check::certify_lp with duals.
+//
+// The root seed comes from METAOPT_FUZZ_SEED when set (CI rotates it per
+// run and echoes it for replay); instances derive per-index streams with
+// util::derive_seed, so one failing index reproduces in isolation.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/certify.h"
+#include "lp/model.h"
+#include "lp/revised_simplex.h"
+#include "lp/simplex.h"
+#include "lp/solution.h"
+#include "util/rng.h"
+
+namespace metaopt {
+namespace {
+
+using lp::Model;
+using lp::ObjSense;
+using lp::Solution;
+using lp::SolveStatus;
+
+constexpr int kInstances = 600;
+constexpr double kObjTol = 1e-6;
+
+std::uint64_t root_seed() {
+  if (const char* env = std::getenv("METAOPT_FUZZ_SEED")) {
+    const unsigned long long parsed = std::strtoull(env, nullptr, 10);
+    return static_cast<std::uint64_t>(parsed);
+  }
+  return 20260807;
+}
+
+/// Random LP in the shapes the tree search produces: small, well-scaled,
+/// heavy on bound structure.
+Model make_random_lp(util::Rng& rng) {
+  Model model;
+  const int n = rng.uniform_int(1, 6);
+  const int m = rng.uniform_int(0, 5);
+  std::vector<lp::Var> vars;
+  for (int j = 0; j < n; ++j) {
+    const double lo = rng.uniform(-5.0, 5.0);
+    const double width = rng.uniform(0.0, 6.0);
+    double lb;
+    double ub;
+    switch (rng.uniform_int(0, 4)) {
+      case 0: lb = lo; ub = lo + width; break;         // boxed
+      case 1: lb = lo; ub = lp::kInf; break;           // lower only
+      case 2: lb = -lp::kInf; ub = lo; break;          // upper only
+      case 3: lb = -lp::kInf; ub = lp::kInf; break;    // free
+      default: lb = lo; ub = lo; break;                // fixed
+    }
+    vars.push_back(model.add_var("x" + std::to_string(j), lb, ub));
+  }
+  // Reference point inside the boxes: rows built around it are mostly
+  // satisfiable, so Optimal roots dominate while infeasible and
+  // unbounded instances still occur (negative slack draws, free vars).
+  std::vector<double> x0(n);
+  for (int j = 0; j < n; ++j) {
+    const double lo = std::isfinite(model.var(j).lb) ? model.var(j).lb : -8.0;
+    const double hi = std::isfinite(model.var(j).ub) ? model.var(j).ub : 8.0;
+    x0[j] = rng.uniform(lo, std::max(lo, hi));
+  }
+  for (int r = 0; r < m; ++r) {
+    lp::LinExpr expr;
+    double activity = 0.0;
+    int terms = 0;
+    for (int j = 0; j < n; ++j) {
+      if (!rng.bernoulli(0.7)) continue;
+      double coef = rng.uniform(-5.0, 5.0);
+      if (std::abs(coef) < 0.05) coef = 0.5;  // keep rows non-degenerate
+      expr.add_term(vars[j], coef);
+      activity += coef * x0[j];
+      ++terms;
+    }
+    if (terms == 0) {
+      expr.add_term(vars[0], 1.0);
+      activity = x0[0];
+    }
+    switch (rng.uniform_int(0, 2)) {
+      case 0:
+        model.add_constraint(expr <= lp::LinExpr(activity +
+                                                 rng.uniform(-1.0, 4.0)));
+        break;
+      case 1:
+        model.add_constraint(expr >= lp::LinExpr(activity +
+                                                 rng.uniform(-4.0, 1.0)));
+        break;
+      default:
+        model.add_constraint(expr == lp::LinExpr(activity +
+                                                 rng.uniform(-0.3, 0.3)));
+        break;
+    }
+  }
+  lp::LinExpr obj(rng.uniform(-2.0, 2.0));
+  if (!rng.bernoulli(0.1)) {  // keep some pure-feasibility objectives
+    for (int j = 0; j < n; ++j) obj.add_term(vars[j], rng.uniform(-3.0, 3.0));
+  }
+  model.set_objective(rng.bernoulli(0.5) ? ObjSense::Minimize
+                                         : ObjSense::Maximize,
+                      obj);
+  return model;
+}
+
+void collect_bounds(const Model& model, std::vector<double>& lb,
+                    std::vector<double>& ub) {
+  lb.resize(model.num_vars());
+  ub.resize(model.num_vars());
+  for (lp::VarId v = 0; v < model.num_vars(); ++v) {
+    lb[v] = model.var(v).lb;
+    ub[v] = model.var(v).ub;
+  }
+}
+
+/// Tightens one or two variable boxes the way branching does; biased
+/// around the parent-optimal point so both still-feasible and
+/// newly-infeasible children occur.
+void tighten_child_bounds(util::Rng& rng, const Solution& parent,
+                          std::vector<double>& lb, std::vector<double>& ub) {
+  const int n = static_cast<int>(lb.size());
+  const int tightenings = rng.uniform_int(1, 2);
+  for (int t = 0; t < tightenings; ++t) {
+    const int v = rng.uniform_int(0, n - 1);
+    if (ub[v] - lb[v] <= 0.0) continue;  // already fixed
+    const double x = parent.values.empty() ? 0.0 : parent.values[v];
+    const double shift = rng.uniform(0.0, 2.0);
+    if (rng.bernoulli(0.5)) {
+      lb[v] = std::max(lb[v], x + (rng.bernoulli(0.3) ? shift : -shift));
+      if (std::isfinite(ub[v])) lb[v] = std::min(lb[v], ub[v] + 1.0);
+    } else {
+      ub[v] = std::min(ub[v], x + (rng.bernoulli(0.3) ? -shift : shift));
+      if (std::isfinite(lb[v])) ub[v] = std::max(ub[v], lb[v] - 1.0);
+    }
+    if (rng.bernoulli(0.25)) {  // branch-style fixing
+      const double fix = rng.bernoulli(0.5) ? lb[v] : ub[v];
+      if (std::isfinite(fix)) {
+        lb[v] = fix;
+        ub[v] = fix;
+      }
+    }
+  }
+}
+
+/// Statuses that must match across solver paths. IterationLimit /
+/// TimeLimit never trigger at these sizes; anything else is a bug.
+bool terminal(SolveStatus s) {
+  return s == SolveStatus::Optimal || s == SolveStatus::Infeasible ||
+         s == SolveStatus::Unbounded;
+}
+
+void expect_same_answer(const Solution& got, const Solution& ref,
+                        const std::string& what) {
+  ASSERT_TRUE(terminal(ref.status))
+      << what << ": reference not terminal: " << lp::to_string(ref.status);
+  ASSERT_TRUE(terminal(got.status))
+      << what << ": not terminal: " << lp::to_string(got.status);
+  ASSERT_EQ(got.status, ref.status)
+      << what << ": " << lp::to_string(got.status) << " vs reference "
+      << lp::to_string(ref.status);
+  if (ref.status == SolveStatus::Optimal) {
+    const double scale = std::max(1.0, std::abs(ref.objective));
+    EXPECT_NEAR(got.objective, ref.objective, kObjTol * scale) << what;
+  }
+}
+
+void certify_optimal(const Model& model, const Solution& sol,
+                     const std::vector<double>& lb,
+                     const std::vector<double>& ub, const std::string& what) {
+  if (sol.status != SolveStatus::Optimal) return;
+  lp::SimplexOptions opt;
+  const check::Certificate cert = check::certify_lp(
+      model, sol, check::CertifyOptions::for_lp(opt), &lb, &ub);
+  EXPECT_TRUE(cert.ok) << what << ": " << cert.to_string();
+}
+
+TEST(SimplexFuzz, WarmAndColdAgreeWithTableauAndCertifier) {
+  const std::uint64_t seed = root_seed();
+  // Echoed so a CI failure line carries everything needed to replay.
+  std::printf("[simplex_fuzz] root seed = %llu\n",
+              static_cast<unsigned long long>(seed));
+
+  lp::SimplexOptions opt;
+  opt.want_duals = true;
+  opt.certify = false;  // the test certifies explicitly, with messages
+
+  int optimal_roots = 0;
+  int warm_dual_answers = 0;
+  int warm_attempts = 0;
+  int tableau_fallbacks = 0;
+
+  for (int i = 0; i < kInstances; ++i) {
+    SCOPED_TRACE("instance " + std::to_string(i) + " (root seed " +
+                 std::to_string(seed) + ")");
+    util::Rng rng(util::derive_seed(seed, static_cast<std::uint64_t>(i)));
+    const Model model = make_random_lp(rng);
+    std::vector<double> lb, ub;
+    collect_bounds(model, lb, ub);
+
+    const lp::SimplexSolver solver(opt);
+
+    // Reference: dense tableau.
+    const Solution ref = solver.solve_with_bounds(model, lb, ub);
+    ASSERT_TRUE(terminal(ref.status));
+    certify_optimal(model, ref, lb, ub, "tableau root");
+
+    // Cold revised via the ladder (no hint).
+    lp::WarmStartContext warm(model);
+    const Solution cold = solver.solve_with_bounds(model, lb, ub, warm);
+    if (warm.last_path == lp::WarmStartContext::Path::Tableau) {
+      ++tableau_fallbacks;
+    }
+    expect_same_answer(cold, ref, "cold revised vs tableau");
+    certify_optimal(model, cold, lb, ub, "cold revised root");
+    std::shared_ptr<const lp::Basis> root_basis = warm.take_result();
+
+    if (cold.status != SolveStatus::Optimal) continue;
+    ++optimal_roots;
+    ASSERT_TRUE(root_basis != nullptr ||
+                warm.last_path == lp::WarmStartContext::Path::Tableau);
+    if (root_basis == nullptr) continue;
+
+    // Child: tighten bounds, re-solve warm from the parent basis and
+    // compare against an independent cold solve of the same child.
+    std::vector<double> clb = lb, cub = ub;
+    tighten_child_bounds(rng, cold, clb, cub);
+    bool empty_box = false;
+    for (std::size_t v = 0; v < clb.size(); ++v) {
+      if (clb[v] > cub[v]) empty_box = true;
+    }
+    if (empty_box) continue;
+
+    const Solution child_ref = solver.solve_with_bounds(model, clb, cub);
+    ASSERT_TRUE(terminal(child_ref.status));
+
+    warm.hint = root_basis.get();
+    ++warm_attempts;
+    const Solution child_warm = solver.solve_with_bounds(model, clb, cub, warm);
+    if (warm.last_path == lp::WarmStartContext::Path::WarmDual) {
+      ++warm_dual_answers;
+    }
+    expect_same_answer(child_warm, child_ref, "warm child vs cold child");
+    certify_optimal(model, child_warm, clb, cub, "warm child");
+
+    // Sibling: a second child warmed from the SAME parent basis through
+    // the same context. The first child's pivots mutated the engine's
+    // cached factorization, so this exercises the cache-staleness path
+    // branch-and-bound hits on every sibling pair.
+    std::vector<double> slb = lb, sub = ub;
+    tighten_child_bounds(rng, cold, slb, sub);
+    bool sibling_empty = false;
+    for (std::size_t v = 0; v < slb.size(); ++v) {
+      if (slb[v] > sub[v]) sibling_empty = true;
+    }
+    if (sibling_empty) continue;
+    const Solution sib_ref = solver.solve_with_bounds(model, slb, sub);
+    ASSERT_TRUE(terminal(sib_ref.status));
+    warm.hint = root_basis.get();
+    ++warm_attempts;
+    const Solution sib_warm = solver.solve_with_bounds(model, slb, sub, warm);
+    if (warm.last_path == lp::WarmStartContext::Path::WarmDual) {
+      ++warm_dual_answers;
+    }
+    expect_same_answer(sib_warm, sib_ref, "sibling warm child vs cold child");
+    certify_optimal(model, sib_warm, slb, sub, "sibling warm child");
+  }
+
+  std::printf(
+      "[simplex_fuzz] %d instances: %d optimal roots, %d/%d warm-dual "
+      "answers, %d tableau fallbacks\n",
+      kInstances, optimal_roots, warm_dual_answers, warm_attempts,
+      tableau_fallbacks);
+
+  // The revised core must carry its weight: the ladder may fall back to
+  // the tableau occasionally, but not habitually.
+  EXPECT_LE(tableau_fallbacks, kInstances / 20);
+  ASSERT_GT(warm_attempts, kInstances / 4);
+  EXPECT_GE(warm_dual_answers, (warm_attempts * 3) / 4);
+}
+
+}  // namespace
+}  // namespace metaopt
