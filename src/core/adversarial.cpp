@@ -531,7 +531,7 @@ AdversarialResult AdversarialGapFinder::find_pop_cs_gap(
       }
       [[nodiscard]] te::GapResult evaluate(
           const std::vector<double>& volumes) const override {
-        ++evaluations_;
+        count_evaluation();
         te::GapResult out;
         const te::MaxFlowResult opt =
             te::solve_max_flow(topo_, paths_, volumes);

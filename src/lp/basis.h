@@ -8,6 +8,12 @@
 // never change). Branch-and-bound therefore shares `Basis` objects down
 // the tree and the solver refactorizes on demand.
 //
+// Sharing contract: a `Basis` is immutable once published — it travels
+// as shared_ptr<const Basis> and nothing writes through it. That makes
+// it safe to hand the same parent basis to sibling nodes processed on
+// different threads; each worker's own engine copies the statuses into
+// private scratch before pivoting.
+//
 // `BasisFactor` maintains an explicit dense inverse of the basis matrix:
 // factorize() is Gauss-Jordan with partial pivoting (O(m^3)), update()
 // applies a product-form elementary transform after one column swap

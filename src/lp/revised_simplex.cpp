@@ -619,8 +619,14 @@ SolveStatus RevisedSimplex::solve_warm(const SimplexOptions& opt,
 
   // Factorization cache: while branch-and-bound plunges, consecutive
   // warm solves often share the exact basis — skip the O(m^3) rebuild.
+  // Only a *pristine* factor qualifies (zero product-form updates since
+  // the last full factorize): an updated inverse carries roundoff that a
+  // fresh Gauss-Jordan rebuild would not, so a hit would make the solve
+  // depend on engine history. With the gate, every node solve is a pure
+  // function of (bounds, hint basis) — the invariant the parallel B&B's
+  // thread-count-independent tree relies on.
   if (basic_ == factored_basic_ && factor_.valid() &&
-      !factor_.needs_refactor()) {
+      factor_.pivots_since_factor() == 0) {
     c_factor_cache_hits.inc();
     compute_basic_values();
   } else if (!refactorize(opt.pivot_tol)) {

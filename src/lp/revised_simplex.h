@@ -14,7 +14,19 @@
 //
 // The engine keeps the factorization of the last basis it touched:
 // when the next warm solve's hint matches (the common case while the
-// search plunges), the O(m^3) refactorization is skipped entirely.
+// search plunges) and the factor is pristine (no product-form updates
+// since the last full factorize), the O(m^3) refactorization is skipped
+// entirely. The pristine gate makes every solve a pure function of
+// (bounds, hint) — bit-identical whether or not the cache hit — which
+// is what lets the parallel branch-and-bound explore the *same* tree
+// regardless of thread count or node scheduling.
+//
+// Thread-safety: one engine (and one WarmStartContext) per thread; the
+// engine is stateful scratch and must never be shared. What *is* shared
+// across threads is `Basis` — an immutable status vector handed around
+// as shared_ptr<const Basis> — and the const Model. Neither is written
+// after publication, so concurrent warm solves from the same parent
+// basis are race-free by construction.
 //
 // Numerical policy: product-form updates accrue roundoff, so the factor
 // is rebuilt every kRefactorInterval pivots, and every terminal point
@@ -117,6 +129,11 @@ class RevisedSimplex {
 /// SimplexSolver::solve_with_bounds: the BoundedForm built once per
 /// tree, the revised-simplex engine (with its factorization cache), and
 /// the per-solve hint/result basis handles.
+///
+/// Not thread-safe: in a parallel tree search every worker owns its own
+/// context (form + engine + hint slot). Workers still share node bases
+/// freely — `hint` points at an immutable shared Basis and `result_` is
+/// published as shared_ptr<const Basis>.
 class WarmStartContext {
  public:
   explicit WarmStartContext(const Model& model)

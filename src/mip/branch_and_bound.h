@@ -8,6 +8,13 @@
 // complementarity side to zero substitutes the column away entirely, so
 // deep nodes solve strictly smaller LPs.
 //
+// With MipOptions::threads > 1 the same search runs as a worker pool
+// over one shared best-bound queue: per-worker simplex engines, a
+// CAS-claimed atomic incumbent, and an in-flight counter that separates
+// "queue momentarily empty" from "tree exhausted". See DESIGN.md
+// ("Parallel tree search") for the full protocol and the determinism
+// contract.
+//
 // Two paper-specific facilities:
 //  * a primal-heuristic callback, used by the metaopt layer to turn every
 //    node relaxation into a *genuine* adversarial input by re-evaluating
@@ -58,6 +65,18 @@ struct MipOptions {
   /// (failures are logged at Error level). On by default in Debug
   /// builds, opt-in for Release.
   bool certify = lp::kCertifyByDefault;
+  /// Worker threads exploring the tree (CLI: --mip-threads). 1 (the
+  /// default) runs the classic serial search on the calling thread; N>1
+  /// runs N workers over a shared best-bound queue, each with its own
+  /// simplex engine. Answers are thread-count-invariant for trees solved
+  /// to proven optimality: every node LP is a pure function of (node
+  /// box, hint basis), so the tree — and the certified optimal objective
+  /// — is bit-identical for any N; only exploration order, node counts
+  /// and early-stop paths may differ. Clamped to 1 (with a log line)
+  /// when the solve is already running inside a parallel region wider
+  /// than one thread (e.g. a SweepRunner job), so sweep x B&B threads
+  /// never oversubscribe the machine.
+  int threads = 1;
   lp::SimplexOptions lp;
 };
 
@@ -67,11 +86,16 @@ struct MipCallbacks {
   /// returned assignment is trusted to be feasible for the *original*
   /// problem semantics (the metaopt layer constructs it from direct
   /// solves); it is still screened by Model::max_violation when
-  /// `verify_heuristic` is true.
+  /// `verify_heuristic` is true. With MipOptions::threads > 1 this is
+  /// called concurrently from worker threads — it must be reentrant
+  /// (the metaopt layer's heuristics are: they only read shared const
+  /// state and build local solves).
   std::function<std::optional<std::pair<double, std::vector<double>>>(
       const std::vector<double>&)>
       primal_heuristic;
   /// Invoked on every accepted incumbent: (objective, seconds, values).
+  /// Serialized under the incumbent lock even when threads > 1, so it
+  /// may mutate caller state without extra locking.
   std::function<void(double, double, const std::vector<double>&)> on_incumbent;
   /// Feasible starting solutions (objective, values) accepted before the
   /// search starts — e.g. seeds from a cheap black-box pass. Screened

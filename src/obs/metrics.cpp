@@ -121,21 +121,46 @@ Histogram histogram(const std::string& name) {
 
 namespace detail {
 
+namespace {
+
+/// Which shards a snapshot sums over.
+enum class SnapshotScope { All, Thread, Group };
+
+/// Process-unique shard-group ids; 0 is reserved for "ungrouped".
+std::atomic<std::uint64_t> g_next_group{1};
+
+}  // namespace
+
 /// Snapshot helpers live here so they can see the registry internals.
-MetricsSnapshot snapshot_blocks(bool this_thread_only) {
+MetricsSnapshot snapshot_blocks(SnapshotScope scope) {
   Registry& reg = registry();
+  const std::uint64_t group =
+      scope == SnapshotScope::Group
+          ? tls_block().group.load(std::memory_order_relaxed)
+          : 0;
+  // An ungrouped caller asking for its group gets its own shard only —
+  // group 0 is "no group", not a group every untagged thread shares.
+  if (scope == SnapshotScope::Group && group == 0) {
+    scope = SnapshotScope::Thread;
+  }
   // Name table copy under the lock; cell reads are relaxed afterwards.
   std::vector<std::pair<std::string, Registry::Entry>> names;
   std::vector<const ThreadBlock*> blocks;
   {
     std::lock_guard<std::mutex> lock(reg.mutex);
     names.assign(reg.by_name.begin(), reg.by_name.end());
-    if (!this_thread_only) {
+    if (scope != SnapshotScope::Thread) {
       blocks.reserve(reg.blocks.size());
-      for (const auto& b : reg.blocks) blocks.push_back(b.get());
+      for (const auto& b : reg.blocks) {
+        if (scope == SnapshotScope::Group &&
+            b->group.load(std::memory_order_relaxed) != group) {
+          continue;
+        }
+        blocks.push_back(b.get());
+      }
     }
   }
-  if (this_thread_only) blocks.push_back(&tls_block());
+  if (scope == SnapshotScope::Thread) blocks.push_back(&tls_block());
 
   MetricsSnapshot snap;
   snap.metrics.reserve(names.size());
@@ -191,9 +216,42 @@ void reset_blocks() {
 
 }  // namespace detail
 
-MetricsSnapshot snapshot() { return detail::snapshot_blocks(false); }
+std::uint64_t current_group() {
+  return detail::tls_block().group.load(std::memory_order_relaxed);
+}
 
-MetricsSnapshot snapshot_thread() { return detail::snapshot_blocks(true); }
+void adopt_shard_group(std::uint64_t id) {
+  detail::tls_block().group.store(id, std::memory_order_relaxed);
+}
+
+ScopedShardGroup::ScopedShardGroup()
+    : id_(detail::g_next_group.fetch_add(1, std::memory_order_relaxed)) {
+  std::atomic<std::uint64_t>& tag = detail::tls_block().group;
+  prev_ = tag.load(std::memory_order_relaxed);
+  tag.store(id_, std::memory_order_relaxed);
+}
+
+ScopedShardGroup::ScopedShardGroup(std::uint64_t adopt) : id_(adopt) {
+  std::atomic<std::uint64_t>& tag = detail::tls_block().group;
+  prev_ = tag.load(std::memory_order_relaxed);
+  tag.store(id_, std::memory_order_relaxed);
+}
+
+ScopedShardGroup::~ScopedShardGroup() {
+  detail::tls_block().group.store(prev_, std::memory_order_relaxed);
+}
+
+MetricsSnapshot snapshot() {
+  return detail::snapshot_blocks(detail::SnapshotScope::All);
+}
+
+MetricsSnapshot snapshot_thread() {
+  return detail::snapshot_blocks(detail::SnapshotScope::Thread);
+}
+
+MetricsSnapshot snapshot_group() {
+  return detail::snapshot_blocks(detail::SnapshotScope::Group);
+}
 
 MetricsSnapshot diff(const MetricsSnapshot& before,
                      const MetricsSnapshot& after) {

@@ -16,10 +16,22 @@
 //
 // Snapshots:
 //   snapshot()        — sums all shards (all threads, living or retired)
-//   snapshot_thread() — the calling thread's shard only; SweepRunner
+//   snapshot_thread() — the calling thread's shard only
+//   snapshot_group()  — all shards tagged with the calling thread's
+//                       shard group (see ScopedShardGroup); SweepRunner
 //                       diffs it around each job for per-job attribution
-//                       (a job runs wholly on one pool thread)
+//                       that stays correct when the job itself spawns
+//                       worker threads (parallel B&B)
 //   diff(before, after) — per-metric delta, zero deltas dropped
+//
+// Shard groups: a thread opens a ScopedShardGroup to mint a fresh
+// process-unique group id and tag its shard with it; threads it spawns
+// adopt the id (ScopedShardGroup{current_group()} captured before the
+// spawn). snapshot_group() then sums exactly the shards working for
+// that job. Retired workers keep their tag — blocks are never freed —
+// so counts recorded by a worker that already exited still land in the
+// closing snapshot; ids are never reused, so a stale tag can't leak
+// into a later group's sums.
 #pragma once
 
 #include <array>
@@ -60,6 +72,9 @@ struct ThreadBlock {
     std::atomic<std::uint64_t> sum{0};
   };
   std::array<Hist, kMaxHistograms> hists{};
+  /// Shard-group tag (0 = ungrouped). Written by the owning thread via
+  /// ScopedShardGroup, read by snapshot_group() filters.
+  std::atomic<std::uint64_t> group{0};
 };
 
 ThreadBlock& tls_block();
@@ -162,10 +177,52 @@ struct MetricsSnapshot {
   [[nodiscard]] std::string to_json() const;
 };
 
+/// The calling thread's current shard-group id (0 when ungrouped).
+/// Capture it before spawning workers; each worker adopts it with
+/// adopt_shard_group(id) as its first act.
+std::uint64_t current_group();
+
+/// Permanently tags the calling thread's shard with `id` — the form for
+/// worker threads that exit when their work is done. Unlike the RAII
+/// ScopedShardGroup there is no restore: the tag survives the thread,
+/// so the spawner's snapshot_group() after join still attributes the
+/// retired worker's counts to the job. (Group ids are never reused, so
+/// a stale tag can only ever match its own group again.) Threads that
+/// outlive the job — pool workers — must use ScopedShardGroup instead.
+void adopt_shard_group(std::uint64_t id);
+
+/// RAII shard-group membership for the calling thread.
+///
+/// Default-constructed: mints a fresh process-unique id and tags this
+/// thread's shard with it — the "open a job" form. Constructed with an
+/// explicit id: adopts an existing group — the "worker joins its
+/// spawner's job" form. Either way the previous tag is restored on
+/// destruction, so nesting (a grouped job starting a sub-group) works.
+class ScopedShardGroup {
+ public:
+  ScopedShardGroup();
+  explicit ScopedShardGroup(std::uint64_t adopt);
+  ~ScopedShardGroup();
+
+  ScopedShardGroup(const ScopedShardGroup&) = delete;
+  ScopedShardGroup& operator=(const ScopedShardGroup&) = delete;
+
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
+ private:
+  std::uint64_t id_ = 0;
+  std::uint64_t prev_ = 0;
+};
+
 /// Sums every thread shard (including threads that have exited).
 MetricsSnapshot snapshot();
 /// The calling thread's shard only.
 MetricsSnapshot snapshot_thread();
+/// Sums the shards tagged with the calling thread's shard group
+/// (including retired workers' shards). Falls back to snapshot_thread()
+/// semantics when the calling thread is ungrouped (group 0): its own
+/// shard only, so callers need not special-case "no group open".
+MetricsSnapshot snapshot_group();
 /// after - before for counters/histograms; gauges take `after`'s value.
 /// Metrics whose delta is entirely zero are dropped.
 MetricsSnapshot diff(const MetricsSnapshot& before,

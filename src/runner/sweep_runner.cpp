@@ -170,6 +170,9 @@ core::AdversarialResult SweepRunner::execute_job(const JobSpec& job) {
   options.pair_mask = make_mask(paths.num_pairs(), job.pairs);
   options.mip.certify = job.certify;
   options.mip.lp.certify = job.certify;
+  // No-op inside a multi-thread sweep pool: the B&B clamps itself back
+  // to 1 when it detects the surrounding parallel region.
+  options.mip.threads = job.mip_threads;
   // The black-box seeding pass is wall-clock budgeted, so its incumbents
   // (and through them the B&B node count) depend on machine load; a
   // deterministic job trades it away for byte-reproducibility.
@@ -218,9 +221,15 @@ SweepReport SweepRunner::run_jobs(const std::vector<JobSpec>& jobs,
       JobResult& slot = report.jobs[i];
       slot.spec = jobs[i];
       util::Stopwatch watch;
-      // Per-job metric attribution: the job body runs entirely on this
-      // worker thread, so diffing its shard brackets exactly this job.
-      const obs::MetricsSnapshot before = obs::snapshot_thread();
+      // Per-job metric attribution: the job body starts on this worker
+      // thread, but may fan out onto its own workers (multi-threaded
+      // B&B adopts the spawner's shard group), so bracket the job with
+      // group snapshots — the thread-only diff would under-report any
+      // solver work done off this thread. The "metrics" field rides in
+      // the JSONL strip-suffix zone, so the deterministic byte-prefix
+      // is unchanged by this wider attribution.
+      const obs::ScopedShardGroup shard_group;
+      const obs::MetricsSnapshot before = obs::snapshot_group();
       try {
         MO_SPAN("sweep.job");
         slot.result = fn(jobs[i]);
@@ -244,7 +253,7 @@ SweepReport SweepRunner::run_jobs(const std::vector<JobSpec>& jobs,
         slot.error = "unknown exception";
       }
       slot.wall_seconds = watch.seconds();
-      slot.metrics = obs::diff(before, obs::snapshot_thread());
+      slot.metrics = obs::diff(before, obs::snapshot_group());
 
       std::lock_guard<std::mutex> lock(progress_mutex);
       ++completed;

@@ -41,10 +41,12 @@ struct JobResult {
   std::string error;                ///< exception message when Failed
   core::AdversarialResult result;   ///< valid unless Failed
   double wall_seconds = 0.0;        ///< job wall time inside the pool
-  /// Per-job obs metric deltas (thread-shard diff around the job body;
-  /// valid because a job runs wholly on one pool thread). Empty when
-  /// recording is off — and then omitted from the JSONL record, so the
-  /// byte format is unchanged for existing campaigns.
+  /// Per-job obs metric deltas (shard-group diff around the job body:
+  /// the group tag follows the job onto any worker threads it spawns,
+  /// e.g. a multi-threaded B&B, so the delta covers the whole job, not
+  /// just the pool thread it started on). Empty when recording is off —
+  /// and then omitted from the JSONL record, so the byte format is
+  /// unchanged for existing campaigns.
   obs::MetricsSnapshot metrics;
 };
 

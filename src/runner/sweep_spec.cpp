@@ -40,6 +40,9 @@ std::vector<JobSpec> expand_spec(const SweepSpec& spec) {
   if (spec.seed_search_fraction < 0.0 || spec.seed_search_fraction >= 1.0) {
     throw std::invalid_argument("sweep spec: seed-fraction must be in [0, 1)");
   }
+  if (spec.mip_threads <= 0) {
+    throw std::invalid_argument("sweep spec: mip-threads must be positive");
+  }
 
   std::vector<JobSpec> jobs;
   int id = 0;
@@ -68,6 +71,7 @@ std::vector<JobSpec> expand_spec(const SweepSpec& spec) {
     job.seed_search_fraction = spec.seed_search_fraction;
     job.deterministic = spec.deterministic;
     job.certify = spec.certify;
+    job.mip_threads = spec.mip_threads;
     jobs.push_back(std::move(job));
   };
 
@@ -239,6 +243,8 @@ SweepSpec parse_sweep_spec(const std::vector<std::string>& tokens) {
       spec.deterministic = parse_scalar(key, value) != 0.0;
     } else if (key == "certify") {
       spec.certify = parse_scalar(key, value) != 0.0;
+    } else if (key == "mip-threads") {
+      spec.mip_threads = static_cast<int>(parse_scalar(key, value));
     } else if (key == "max-jobs") {
       spec.max_jobs = static_cast<int>(parse_scalar(key, value));
     } else {

@@ -65,6 +65,12 @@ struct SweepSpec {
   bool deterministic = true;
   /// Independently certify every solve (check::certify_mip).
   bool certify = false;
+  /// B&B worker threads per job (MipOptions::threads). Only effective
+  /// when the sweep itself runs with one worker thread: inside a wider
+  /// sweep pool the B&B clamps itself back to 1 so sweep x mip threads
+  /// never oversubscribe the machine. Answers are thread-count-invariant
+  /// (see mip/branch_and_bound.h), so this never changes results.
+  int mip_threads = 1;
 
   // ---- campaign shaping ----
   /// Hard cap on the number of jobs after expansion (0 = unlimited).
@@ -88,6 +94,7 @@ struct JobSpec {
   double seed_search_fraction = 0.3;
   bool deterministic = true;
   bool certify = false;
+  int mip_threads = 1;
 
   /// The swept x-coordinate: threshold for DP, partitions for POP.
   [[nodiscard]] double axis_value() const {
@@ -110,6 +117,7 @@ std::vector<JobSpec> expand_spec(const SweepSpec& spec);
 ///   instances=3           pairs=12              budget=20
 ///   demand-ub=0           base-seed=1           deterministic=1
 ///   certify=0             max-jobs=100          seed-fraction=0.3
+///   mip-threads=1
 ///
 /// Integer axes accept `lo..hi` inclusive ranges; comma lists work for
 /// every axis. Unknown keys and malformed values throw

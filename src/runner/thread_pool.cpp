@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/parallel.h"
+
 namespace metaopt::runner {
 
 namespace {
@@ -95,6 +97,12 @@ bool ThreadPool::try_pop(int self, std::function<void()>& task) {
 void ThreadPool::worker_loop(int self) {
   t_pool = this;
   t_worker_index = self;
+  // Mark this thread as a pool worker so nested components (notably the
+  // parallel B&B inside a sweep job) clamp their own thread counts
+  // instead of oversubscribing the machine. A 1-thread pool does not
+  // inhibit nested parallelism.
+  const util::ScopedParallelWorker region(
+      static_cast<int>(deques_.size()));
   for (;;) {
     std::function<void()> task;
     if (try_pop(self, task)) {

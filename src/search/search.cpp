@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/obs.h"
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 
@@ -90,13 +91,23 @@ SearchResult hill_climb(const te::GapOracle& oracle,
   Tracker tracker(oracle, options);
   const double sigma = options.sigma_fraction * options.demand_ub;
 
+  // A wrong-sized initial point is a caller bug (typically a mask/oracle
+  // dimension mismatch); falling back to a random start silently would
+  // hide it, so say so once up front.
+  const bool use_initial =
+      options.initial_point.size() ==
+      static_cast<std::size_t>(oracle.num_demands());
+  if (!options.initial_point.empty() && !use_initial) {
+    MO_LOG(Warn) << "hill_climb: ignoring initial_point of size "
+                 << options.initial_point.size() << " (oracle expects "
+                 << oracle.num_demands() << " demands); starting random";
+  }
+
   bool first_restart = true;
   while (tracker.budget_left()) {
     tracker.count_restart();
     std::vector<double> d =
-        first_restart &&
-                options.initial_point.size() ==
-                    static_cast<std::size_t>(oracle.num_demands())
+        first_restart && use_initial
             ? options.initial_point
             : random_point(oracle.num_demands(), options.demand_ub, rng);
     first_restart = false;
@@ -222,7 +233,7 @@ std::vector<double> MaskedGapOracle::expand(
 
 te::GapResult MaskedGapOracle::evaluate(
     const std::vector<double>& volumes) const {
-  ++evaluations_;
+  count_evaluation();
   return base_.evaluate(expand(volumes));
 }
 

@@ -5,7 +5,7 @@
 namespace metaopt::te {
 
 GapResult DpGapOracle::evaluate(const std::vector<double>& volumes) const {
-  ++evaluations_;
+  count_evaluation();
   GapResult result;
   const MaxFlowResult opt = solve_max_flow(topo_, paths_, volumes);
   if (opt.status != lp::SolveStatus::Optimal) {
@@ -21,7 +21,7 @@ GapResult DpGapOracle::evaluate(const std::vector<double>& volumes) const {
 }
 
 GapResult PopGapOracle::evaluate(const std::vector<double>& volumes) const {
-  ++evaluations_;
+  count_evaluation();
   GapResult result;
   const MaxFlowResult opt = solve_max_flow(topo_, paths_, volumes);
   if (opt.status != lp::SolveStatus::Optimal) {

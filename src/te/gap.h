@@ -7,6 +7,7 @@
 // against them.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -42,10 +43,22 @@ class GapOracle {
   [[nodiscard]] virtual GapResult evaluate(
       const std::vector<double>& volumes) const = 0;
   /// Number of evaluate() calls so far (latency bookkeeping for Fig. 3).
-  [[nodiscard]] long evaluations() const { return evaluations_; }
+  [[nodiscard]] long evaluations() const {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
 
  protected:
-  mutable long evaluations_ = 0;
+  /// Bumps the evaluation count; call at the top of every evaluate()
+  /// override. evaluate() is const and oracles are shared across
+  /// threads (parallel B&B primal heuristics, concurrent searchers), so
+  /// the bookkeeping must be an atomic — relaxed is enough, it is a
+  /// statistic, not a synchronization point.
+  void count_evaluation() const {
+    evaluations_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::atomic<long> evaluations_{0};
 };
 
 /// OPT vs Demand Pinning.

@@ -1,0 +1,47 @@
+// Process-wide awareness of nested parallelism.
+//
+// Components that can fan out onto their own worker threads (the sweep
+// runner's ThreadPool, the parallel branch-and-bound) mark each worker
+// thread with the width of the region it belongs to. A nested component
+// checks `parallel_region_width()` before spawning its own workers: when
+// it is already running inside a region wider than one thread, spawning
+// more would oversubscribe the machine (N sweep jobs x M B&B workers),
+// so it clamps itself to a single thread instead.
+//
+// The marker is a plain thread_local — no atomics, no registry — because
+// the question is always "is *this* thread already a parallel worker?",
+// never a cross-thread query. Width 1 (a single-threaded pool) does not
+// inhibit nested parallelism; only width > 1 does.
+#pragma once
+
+namespace metaopt::util {
+
+namespace detail {
+inline thread_local int t_parallel_region_width = 0;
+}  // namespace detail
+
+/// Width of the innermost parallel region this thread is a worker of
+/// (0 when the thread is not a marked worker at all).
+inline int parallel_region_width() {
+  return detail::t_parallel_region_width;
+}
+
+/// RAII marker: declares the current thread a worker of a parallel
+/// region of `width` sibling threads for the scope's lifetime. Nests:
+/// the previous width is restored on destruction.
+class ScopedParallelWorker {
+ public:
+  explicit ScopedParallelWorker(int width)
+      : prev_(detail::t_parallel_region_width) {
+    detail::t_parallel_region_width = width;
+  }
+  ~ScopedParallelWorker() { detail::t_parallel_region_width = prev_; }
+
+  ScopedParallelWorker(const ScopedParallelWorker&) = delete;
+  ScopedParallelWorker& operator=(const ScopedParallelWorker&) = delete;
+
+ private:
+  int prev_;
+};
+
+}  // namespace metaopt::util

@@ -66,7 +66,10 @@ Model make_random_mip(util::Rng& rng, int* n_out = nullptr) {
 
 TEST(BnbWarmStart, RandomMipsAgreeWarmVsCold) {
   // Differential sweep: the warm-start path must be invisible in the
-  // answers — same status, same optimal objective, same proven bound.
+  // answers — same status, same optimal objective, same proven bound —
+  // and the thread count must be invisible on top of that: for each
+  // warm setting, threads 2 and 4 must reproduce the 1-thread answer
+  // exactly (the parallel search explores the same tree).
   util::Rng rng(util::derive_seed(20260807, 41));
   MipOptions warm_opt;
   warm_opt.use_warm_start = true;
@@ -81,6 +84,22 @@ TEST(BnbWarmStart, RandomMipsAgreeWarmVsCold) {
     ASSERT_EQ(warm.status, SolveStatus::Optimal) << "trial " << trial;
     EXPECT_NEAR(warm.objective, cold.objective, 1e-6) << "trial " << trial;
     EXPECT_NEAR(warm.best_bound, cold.best_bound, 1e-6) << "trial " << trial;
+    for (const int threads : {2, 4}) {
+      for (MipOptions opt : {warm_opt, cold_opt}) {
+        opt.threads = threads;
+        const auto par = BranchAndBound(opt).solve(m);
+        const auto& ref = opt.use_warm_start ? warm : cold;
+        ASSERT_EQ(par.status, ref.status)
+            << "trial " << trial << " threads=" << threads
+            << " warm=" << opt.use_warm_start;
+        EXPECT_EQ(par.objective, ref.objective)
+            << "trial " << trial << " threads=" << threads
+            << " warm=" << opt.use_warm_start;
+        EXPECT_EQ(par.best_bound, ref.best_bound)
+            << "trial " << trial << " threads=" << threads
+            << " warm=" << opt.use_warm_start;
+      }
+    }
     if (warm.iterations > 1) ++branched;
   }
   // The family is built to branch; if it stopped doing so the sweep

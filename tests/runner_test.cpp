@@ -403,6 +403,47 @@ TEST(SweepRunnerTest, RealDpSweepIsDeterministicAcrossThreads) {
   EXPECT_NE(payloads[0].find("\"status\":\"ok\""), std::string::npos);
 }
 
+TEST(SweepRunnerTest, JobMetricsAggregateSpawnedWorkerShards) {
+  // A job that fans out onto its own worker threads (mip-threads=2; the
+  // sweep pool runs single-threaded so the B&B's oversubscription guard
+  // stays quiet) must still attribute the WHOLE tree to its "metrics"
+  // delta: the shard-group bracket follows the job onto spawned
+  // workers. A thread-only diff would count just the pool thread's
+  // share and the node accounting below would not balance.
+  obs::set_enabled(true);
+  SweepSpec spec;
+  spec.topologies = {"fig1"};
+  spec.thresholds = {50.0};
+  spec.demand_ub = 200.0;
+  spec.budget_seconds = 60.0;
+  spec.deterministic = true;
+  spec.mip_threads = 2;
+  SweepOptions options;
+  options.threads = 1;
+  options.log_progress = false;
+  const SweepReport report = SweepRunner(options).run(spec);
+  obs::set_enabled(false);
+  ASSERT_EQ(report.num_ok, 1);
+  const obs::MetricsSnapshot& d = report.jobs[0].metrics;
+  const auto metric = [&d](const char* name) {
+    const obs::MetricValue* m = d.find(name);
+    return m ? m->value : 0.0;
+  };
+  // Both B&B workers' solver constructions are attributed to the job...
+  EXPECT_EQ(metric("bnb.solver_instances"), 2.0);
+  // ...and the node outcome ledger balances, which it cannot do if any
+  // worker's share leaked out of the delta.
+  const double popped = metric("bnb.nodes_popped");
+  EXPECT_GT(popped, 0.0);
+  EXPECT_EQ(popped, metric("bnb.nodes_pruned_bound") +
+                        metric("bnb.nodes_pruned_infeasible") +
+                        metric("bnb.nodes_integer_feasible") +
+                        metric("bnb.nodes_branched") +
+                        metric("bnb.nodes_failed") +
+                        metric("bnb.nodes_aborted") +
+                        metric("bnb.nodes_unbounded"));
+}
+
 TEST(SweepRunnerTest, WritesJsonlAndCsvArtifacts) {
   SweepSpec spec = small_spec();
   spec.max_jobs = 2;

@@ -1,6 +1,9 @@
 // Tests for the black-box searchers (§3.4).
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "net/topologies.h"
 #include "search/search.h"
 #include "te/demand.h"
@@ -102,6 +105,68 @@ TEST(QuantizedClimb, BeatsRandomOnDpShape) {
   const SearchResult quant = quantized_climb(q_oracle, o);
   const SearchResult rand = random_search(r_oracle, o);
   EXPECT_GT(quant.best.gap(), rand.best.gap());
+}
+
+TEST(HillClimb, UsesMatchingInitialPoint) {
+  // A correctly-sized initial_point seeds the first restart: handed the
+  // Fig. 1 worst case (found by quantized_climb, gap 100), a hill climb
+  // with almost no budget must retain that gap — unreachable from a
+  // random start in so few evaluations.
+  Fig1Fixture f;
+  te::DpGapOracle quant_oracle(f.topo, f.paths, f.config);
+  SearchOptions qo = quick_options(2.0);
+  qo.levels = {0.0, 50.0, 100.0, 110.0};
+  const SearchResult q = quantized_climb(quant_oracle, qo);
+  ASSERT_NEAR(q.best.gap(), 100.0, 1e-6);
+
+  te::DpGapOracle oracle(f.topo, f.paths, f.config);
+  SearchOptions o = quick_options(30.0, 3);
+  o.max_evaluations = 3;  // evaluate the seed, not much else
+  o.initial_point = q.best_volumes;
+  const SearchResult r = hill_climb(oracle, o);
+  EXPECT_NEAR(r.best.gap(), 100.0, 1e-6);
+}
+
+TEST(HillClimb, IgnoresMismatchedInitialPoint) {
+  // A wrong-sized initial_point (the classic mask/oracle mix-up) must
+  // not crash or silently skew the search: it is dropped with a warning
+  // and the run is identical to one with no initial point at all.
+  Fig1Fixture f;
+  SearchOptions o = quick_options(30.0, 7);
+  o.max_evaluations = 200;
+  SearchOptions bad = o;
+  bad.initial_point = {100.0, 50.0};  // oracle expects 6 demands
+  te::DpGapOracle o1(f.topo, f.paths, f.config);
+  te::DpGapOracle o2(f.topo, f.paths, f.config);
+  const SearchResult plain = hill_climb(o1, o);
+  const SearchResult ignored = hill_climb(o2, bad);
+  EXPECT_EQ(plain.best_volumes, ignored.best_volumes);
+  EXPECT_DOUBLE_EQ(plain.best.gap(), ignored.best.gap());
+  EXPECT_EQ(plain.evaluations, ignored.evaluations);
+}
+
+TEST(MaskedOracle, ConcurrentEvaluationCountIsExact) {
+  // MaskedGapOracle::evaluate is const and is called from B&B worker
+  // threads (the primal heuristic re-evaluates the true gap per node);
+  // its evaluation counter must not lose increments under contention.
+  Fig1Fixture f;
+  te::DpGapOracle base(f.topo, f.paths, f.config);
+  std::vector<bool> include(6, false);
+  include[0] = include[1] = true;
+  const MaskedGapOracle masked(base, include);
+  constexpr int kThreads = 4;
+  constexpr int kEvalsPerThread = 25;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&masked] {
+      for (int i = 0; i < kEvalsPerThread; ++i) {
+        (void)masked.evaluate({25.0, 50.0});
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(masked.evaluations(), kThreads * kEvalsPerThread);
 }
 
 TEST(MaskedOracle, ProjectsAndExpands) {

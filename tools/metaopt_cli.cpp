@@ -33,6 +33,9 @@
 //   --pairs N          restrict adversarial support to ~N pairs
 //   --demand-ub U      demand box upper bound      (default max capacity)
 //   --seed S           RNG seed                    (default 1)
+//   --mip-threads N    B&B worker threads (find/bound; default 1;
+//                      sweep jobs take mip-threads= in the spec instead,
+//                      and clamp to 1 when the sweep itself is parallel)
 //   --certify          independently certify every solve (find/bound)
 //   --csv FILE         append a result row to FILE
 //
@@ -159,6 +162,8 @@ int cmd_find(const Args& args) {
   core::AdversarialGapFinder finder(topo, paths);
   core::AdversarialOptions options;
   options.mip.time_limit_seconds = args.get_num("budget", 30.0);
+  options.mip.threads =
+      std::max(1, static_cast<int>(args.get_num("mip-threads", 1)));
   if (args.flags.count("certify") > 0) {
     options.mip.certify = true;
     options.mip.lp.certify = true;
@@ -228,6 +233,8 @@ int cmd_bound(const Args& args) {
   core::GapBounder bounder(topo, paths);
   core::AdversarialOptions options;
   options.mip.time_limit_seconds = args.get_num("budget", 30.0);
+  options.mip.threads =
+      std::max(1, static_cast<int>(args.get_num("mip-threads", 1)));
   if (args.flags.count("certify") > 0) {
     options.mip.certify = true;
     options.mip.lp.certify = true;
