@@ -1,0 +1,94 @@
+// Bin packing: certified worst-case FFD-vs-OPT gap as the item count
+// grows.
+//
+// Paper shape (journal version of the source paper): the FFD gap grows
+// roughly linearly in the item count — the 0.45/0.26 family wastes one
+// bin per six items — so the normalized gap (per bin budget) approaches
+// a constant. This bench sweeps `items` with the single-shot white-box
+// search per point and reports the exact re-scored gap.
+//
+// The whole figure is one SweepSpec on the ffd axis executed by the
+// parallel SweepRunner. Budgets scale with METAOPT_BENCH_SCALE, workers
+// with METAOPT_BENCH_THREADS, and METAOPT_BENCH_CERTIFY=1 additionally
+// certifies every solve (check::certify_mip) — the CI smoke runs with
+// certification on. Per-job reports land in bench_results/binpack.jsonl
+// and the obs report in bench_results/BENCH_binpack.json.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "domains/domains.h"
+#include "runner/sweep_runner.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace metaopt;
+
+constexpr double kBudgetPerPoint = 30.0;
+
+bool bench_certify() {
+  const char* env = std::getenv("METAOPT_BENCH_CERTIFY");
+  return env != nullptr && std::atoi(env) != 0;
+}
+
+void BinPack_FfdGapVsItems(benchmark::State& state) {
+  domains::register_builtin();
+  runner::SweepSpec spec;
+  spec.heuristics = {runner::Heuristic::Ffd};
+  spec.items = {4, 6, 8, 10};
+  spec.seeds = {1};
+  spec.budget_seconds = bench::scaled(kBudgetPerPoint);
+  spec.certify = bench_certify();
+  // The worst-case family seeds deterministically inside find_ffd_gap,
+  // so the deterministic path still reports genuine positive gaps.
+  spec.deterministic = true;
+
+  runner::SweepOptions options;
+  options.threads = bench::bench_threads();
+  options.log_progress = false;
+
+  const obs::MetricsSnapshot obs_baseline = bench::obs_begin();
+  util::Stopwatch bench_watch;
+  std::vector<double> job_walls, gaps, norm_gaps;
+  double worst_gap = 0.0;
+  int certified = 0;
+  for (auto _ : state) {
+    const runner::SweepReport report = runner::SweepRunner(options).run(spec);
+    auto out = bench::csv("binpack");
+    for (const runner::JobResult& job : report.jobs) {
+      out.row("binpack", "ffd", job.spec.items, job.result.normalized_gap,
+              job.result.gap);
+      worst_gap = std::max(worst_gap, job.result.gap);
+      certified += job.result.certified ? 1 : 0;
+      job_walls.push_back(job.wall_seconds);
+      gaps.push_back(job.result.gap);
+      norm_gaps.push_back(job.result.normalized_gap);
+    }
+    report.write_jsonl("bench_results/binpack.jsonl");
+    state.counters["ok"] = report.num_ok;
+    state.counters["failed"] = report.num_failed + report.num_timeout;
+    state.counters["threads"] = report.threads;
+  }
+  state.counters["worst_gap"] = worst_gap;
+  state.counters["certified"] = certified;
+  bench::write_bench_report(
+      "binpack", obs_baseline, bench_watch.seconds(),
+      {{"scale", std::to_string(bench::budget_scale())},
+       {"threads", std::to_string(bench::bench_threads())},
+       {"certify", std::to_string(bench_certify() ? 1 : 0)},
+       {"budget_per_point", std::to_string(spec.budget_seconds)}},
+      {{"job_wall_seconds", job_walls},
+       {"gap", gaps},
+       {"norm_gap", norm_gaps}});
+}
+
+BENCHMARK(BinPack_FfdGapVsItems)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

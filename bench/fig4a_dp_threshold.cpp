@@ -16,6 +16,7 @@
 #include <algorithm>
 
 #include "bench_common.h"
+#include "domains/domains.h"
 #include "runner/sweep_runner.h"
 #include "util/stopwatch.h"
 
@@ -26,6 +27,7 @@ using namespace metaopt;
 constexpr double kBudgetPerPoint = 20.0;
 
 void Fig4a_DpThresholdSweep(benchmark::State& state) {
+  domains::register_builtin();
   runner::SweepSpec spec;
   spec.topologies = {"b4", "swan", "abilene"};
   spec.heuristics = {runner::Heuristic::Dp};

@@ -14,6 +14,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
+#include "domains/domains.h"
 #include "runner/sweep_runner.h"
 #include "util/stopwatch.h"
 
@@ -25,6 +26,7 @@ constexpr double kBudget = 30.0;
 constexpr int kMaskPairs = 40;
 
 runner::SweepSpec base_spec() {
+  domains::register_builtin();
   runner::SweepSpec spec;
   spec.topologies = {"b4"};
   spec.heuristics = {runner::Heuristic::Pop};

@@ -1,0 +1,190 @@
+#include "binpack/binpack.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+#include "lp/model.h"
+#include "obs/obs.h"
+#include "util/stopwatch.h"
+
+namespace metaopt::binpack {
+
+namespace {
+
+const obs::Counter c_ff_simulations = obs::counter("binpack.ff_simulations");
+const obs::Counter c_opt_solves = obs::counter("binpack.opt_solves");
+const obs::Counter c_oracle_evals = obs::counter("binpack.oracle_evaluations");
+const obs::Histogram h_opt_ns = obs::histogram("binpack.opt_ns");
+
+// Feasibility slack for floating-point load sums; well below the
+// epsilon dead band, so it never flips a decision the encoding models.
+constexpr double kFitTol = 1e-9;
+
+void check_sizes(const std::vector<double>& sizes,
+                 const BinPackConfig& config) {
+  const std::size_t want =
+      static_cast<std::size_t>(config.items) *
+      static_cast<std::size_t>(config.dims);
+  if (sizes.size() != want) {
+    throw std::invalid_argument(
+        "binpack: expected " + std::to_string(want) + " sizes, got " +
+        std::to_string(sizes.size()));
+  }
+}
+
+}  // namespace
+
+FirstFitResult simulate_first_fit(const std::vector<double>& sizes,
+                                  const BinPackConfig& config) {
+  check_sizes(sizes, config);
+  c_ff_simulations.inc();
+  const int n = config.items;
+  const int d = config.dims;
+  const int num_bins = config.num_bins();
+
+  FirstFitResult result;
+  result.order.resize(n);
+  std::iota(result.order.begin(), result.order.end(), 0);
+  if (config.decreasing) {
+    // Key = sum of the size vector; stable sort keeps ties in original
+    // index order, matching the encoding's WLOG processing order.
+    std::vector<double> key(n, 0.0);
+    for (int i = 0; i < n; ++i) {
+      for (int t = 0; t < d; ++t) key[i] += sizes[i * d + t];
+    }
+    std::stable_sort(result.order.begin(), result.order.end(),
+                     [&](int a, int b) { return key[a] > key[b]; });
+  }
+
+  result.assignment.assign(n, -1);
+  std::vector<double> load(static_cast<std::size_t>(num_bins) * d, 0.0);
+  int opened = 0;
+  result.feasible = true;
+  for (const int item : result.order) {
+    int placed = -1;
+    // First-fit only ever probes the already-open prefix plus one fresh
+    // bin; a fresh bin always fits (sizes <= capacity is not guaranteed
+    // for arbitrary leader boxes, so the fresh bin is probed too).
+    const int limit = std::min(opened + 1, num_bins);
+    for (int b = 0; b < limit && placed < 0; ++b) {
+      bool fits = true;
+      for (int t = 0; t < d && fits; ++t) {
+        fits = load[b * d + t] + sizes[item * d + t] <=
+               config.capacity + kFitTol;
+      }
+      if (fits) placed = b;
+    }
+    if (placed < 0) {
+      result.feasible = false;
+      continue;  // unplaced item; keep packing the rest for diagnostics
+    }
+    result.assignment[item] = placed;
+    for (int t = 0; t < d; ++t) load[placed * d + t] += sizes[item * d + t];
+    opened = std::max(opened, placed + 1);
+  }
+  result.bins_used = opened;
+  result.status = lp::SolveStatus::Optimal;
+  return result;
+}
+
+mip::MipOptions default_opt_mip() {
+  mip::MipOptions options;
+  options.time_limit_seconds = 10.0;
+  return options;
+}
+
+OptBinResult solve_opt_bins(const std::vector<double>& sizes,
+                            const BinPackConfig& config,
+                            const mip::MipOptions& mip) {
+  check_sizes(sizes, config);
+  c_opt_solves.inc();
+  const util::Stopwatch watch;
+  const int n = config.items;
+  const int d = config.dims;
+  const int num_bins = config.num_bins();
+
+  lp::Model model;
+  // Triangular assignment (item i only in bins b <= i): valid because
+  // any packing can be relabeled so bins appear in order of their
+  // smallest item index, and it kills the bin-permutation symmetry.
+  std::vector<std::vector<lp::Var>> z(n);
+  std::vector<lp::Var> open;
+  open.reserve(num_bins);
+  for (int b = 0; b < num_bins; ++b) {
+    open.push_back(model.add_binary("o[" + std::to_string(b) + "]"));
+  }
+  for (int i = 0; i < n; ++i) {
+    const int max_bin = std::min(i, num_bins - 1);
+    for (int b = 0; b <= max_bin; ++b) {
+      z[i].push_back(model.add_binary("z[" + std::to_string(i) + "," +
+                                      std::to_string(b) + "]"));
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    lp::LinExpr sum;
+    for (const lp::Var& v : z[i]) sum += v;
+    model.add_constraint(sum == 1.0, "assign[" + std::to_string(i) + "]");
+    for (int b = 0; b < static_cast<int>(z[i].size()); ++b) {
+      // z <= o also forces OPT to open a bin for all-zero items, so
+      // OPT(0) = 1 = FF(0) and the gap at the origin is zero.
+      model.add_constraint(z[i][b] <= open[b], "z_open[" +
+                           std::to_string(i) + "," + std::to_string(b) + "]");
+    }
+  }
+  for (int b = 0; b < num_bins; ++b) {
+    for (int t = 0; t < d; ++t) {
+      lp::LinExpr loadexpr;
+      for (int i = b; i < n; ++i) {
+        if (b < static_cast<int>(z[i].size())) {
+          loadexpr += sizes[i * d + t] * z[i][b];
+        }
+      }
+      model.add_constraint(loadexpr <= config.capacity * open[b],
+                           "cap[" + std::to_string(b) + "," +
+                           std::to_string(t) + "]");
+    }
+    if (b + 1 < num_bins) {
+      model.add_constraint(open[b + 1] <= open[b],
+                           "open_order[" + std::to_string(b) + "]");
+    }
+  }
+  lp::LinExpr total;
+  for (const lp::Var& o : open) total += o;
+  model.set_objective(lp::ObjSense::Minimize, total);
+
+  const lp::Solution sol = mip::BranchAndBound(mip).solve(model);
+  OptBinResult result;
+  result.status = sol.status;
+  result.certified = sol.certified;
+  if (sol.has_solution()) {
+    result.bins_used = static_cast<int>(sol.objective + 0.5);
+  }
+  h_opt_ns.observe(watch.elapsed_ns());
+  return result;
+}
+
+heur::GapResult BinPackGapOracle::evaluate(
+    const std::vector<double>& leader) const {
+  count_evaluation();
+  c_oracle_evals.inc();
+  heur::GapResult result;
+  result.sense = lp::ObjSense::Minimize;  // gap = heur - opt (extra bins)
+  const FirstFitResult ff = simulate_first_fit(leader, config_);
+  result.heuristic_feasible = ff.feasible;
+  result.heur = ff.bins_used;
+  if (!ff.feasible) {
+    // Greedy ran out of bins; no point paying for OPT — searchers treat
+    // gap() = -1 as a hard reject.
+    result.status = lp::SolveStatus::Optimal;
+    return result;
+  }
+  const OptBinResult opt = solve_opt_bins(leader, config_, mip_);
+  result.status = opt.status;
+  if (opt.status != lp::SolveStatus::Optimal) return result;
+  result.opt = opt.bins_used;
+  return result;
+}
+
+}  // namespace metaopt::binpack

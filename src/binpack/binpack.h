@@ -1,0 +1,115 @@
+// d-dimensional vector bin packing: the second heuristic family.
+//
+// The journal version of the source paper instantiates the same
+// leader/follower framework for first-fit (FF) and first-fit-decreasing
+// (FFD) bin packing: the leader chooses item size vectors inside a box
+// (plus optional hose-style totals), the heuristic packs them greedily,
+// and OPT is the assignment MIP. This header holds the *direct* side —
+// the simulated heuristic, the exact OPT counterpart, and the
+// heur::GapOracle gluing them into the black-box searchers; the
+// single-shot white-box encoding lives in binpack/encoding.h and
+// binpack/adversarial.h.
+//
+// Size layout: item-major, sizes[i * dims + t] is item i's size in
+// dimension t. All bins share one capacity `capacity` per dimension.
+#pragma once
+
+#include <vector>
+
+#include "heur/gap.h"
+#include "lp/solution.h"
+#include "mip/branch_and_bound.h"
+
+namespace metaopt::binpack {
+
+struct BinPackConfig {
+  int items = 6;  ///< number of leader-controlled items
+  int dims = 1;   ///< vector dimensions per item
+  /// Bin budget B; 0 = one bin per item (FF always succeeds then).
+  int bins = 0;
+  /// Per-dimension bin capacity (uniform across bins and dimensions).
+  double capacity = 1.0;
+  /// Leader box: every size in [0, size_ub]; <= 0 means capacity.
+  double size_ub = 0.0;
+  /// Dead band of the fit indicator rows: a bin either fits an item
+  /// (load + size <= capacity) or visibly overflows in some dimension
+  /// (load + size >= capacity + epsilon). Inputs whose decisions land
+  /// strictly inside (capacity, capacity + epsilon) are excluded from
+  /// the single-shot model — the same §5 trick as DP's pin threshold —
+  /// and the simulator/primal heuristic snap away from the band.
+  double epsilon = 1e-4;
+  /// FFD (process items in decreasing key order, key = sum of the size
+  /// vector) vs plain FF (arrival order).
+  bool decreasing = true;
+  /// Hose-style total-size cap per dimension:
+  /// sum_i size[i][t] <= hose_fraction * bins * capacity. <= 0 disables.
+  double hose_fraction = 0.0;
+
+  [[nodiscard]] int num_bins() const { return bins > 0 ? bins : items; }
+  [[nodiscard]] double ub() const {
+    return size_ub > 0.0 ? size_ub : capacity;
+  }
+};
+
+/// Outcome of simulating the greedy heuristic.
+struct FirstFitResult {
+  lp::SolveStatus status = lp::SolveStatus::Error;
+  /// False when some item fits no bin within the budget (or, for the
+  /// single-shot semantics, a placement decision lands in the epsilon
+  /// dead band — see simulate tolerance notes in binpack.cpp).
+  bool feasible = false;
+  int bins_used = 0;
+  /// Item (original index) -> bin, -1 when infeasible.
+  std::vector<int> assignment;
+  /// Processing order (item indices): sorted by decreasing key for FFD
+  /// (ties broken by original index, matching the encoding's WLOG
+  /// ordering), identity for FF.
+  std::vector<int> order;
+};
+
+/// Runs FF/FFD (config.decreasing) on the given sizes.
+FirstFitResult simulate_first_fit(const std::vector<double>& sizes,
+                                  const BinPackConfig& config);
+
+/// Outcome of the exact assignment MIP.
+struct OptBinResult {
+  lp::SolveStatus status = lp::SolveStatus::Error;
+  int bins_used = 0;
+  /// True when the MIP ran with certification and passed.
+  bool certified = false;
+};
+
+/// Default B&B budget for direct OPT solves inside oracle loops.
+mip::MipOptions default_opt_mip();
+
+/// OPT bins via the assignment MIP (z[i][b], o[b]; symmetry-broken to
+/// the triangular form z[i][b] only for b <= i) solved by
+/// mip::BranchAndBound.
+OptBinResult solve_opt_bins(const std::vector<double>& sizes,
+                            const BinPackConfig& config,
+                            const mip::MipOptions& mip = default_opt_mip());
+
+/// gap(sizes) = FFD(sizes) - OPT(sizes), a Minimize-sense oracle: the
+/// heuristic opens *more* bins than optimal. Infeasible inputs (greedy
+/// runs out of bins) report heuristic_feasible = false so searchers
+/// steer away.
+class BinPackGapOracle final : public heur::GapOracle {
+ public:
+  explicit BinPackGapOracle(BinPackConfig config,
+                            mip::MipOptions mip = default_opt_mip())
+      : config_(config), mip_(mip) {}
+
+  [[nodiscard]] int num_leader_vars() const override {
+    return config_.items * config_.dims;
+  }
+  [[nodiscard]] heur::GapResult evaluate(
+      const std::vector<double>& leader) const override;
+
+  [[nodiscard]] const BinPackConfig& config() const { return config_; }
+
+ private:
+  BinPackConfig config_;
+  mip::MipOptions mip_;
+};
+
+}  // namespace metaopt::binpack

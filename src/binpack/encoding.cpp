@@ -1,0 +1,244 @@
+#include "binpack/encoding.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace metaopt::binpack {
+
+namespace {
+
+using lp::LinExpr;
+using lp::Var;
+
+std::string tag(const std::string& prefix, const std::string& base, int i) {
+  return prefix + base + "[" + std::to_string(i) + "]";
+}
+std::string tag(const std::string& prefix, const std::string& base, int i,
+                int b) {
+  return prefix + base + "[" + std::to_string(i) + "," + std::to_string(b) +
+         "]";
+}
+std::string tag(const std::string& prefix, const std::string& base, int i,
+                int b, int t) {
+  return prefix + base + "[" + std::to_string(i) + "," + std::to_string(b) +
+         "," + std::to_string(t) + "]";
+}
+
+// Matches the simulator's kFitTol; far below epsilon, so the completion
+// never disagrees with an exact-arithmetic run on grid-valued sizes.
+constexpr double kTol = 1e-9;
+
+}  // namespace
+
+FfdEncoding build_ffd(lp::Model& model, std::vector<Var> sizes,
+                      const BinPackConfig& config,
+                      const std::string& prefix) {
+  const int n = config.items;
+  const int d = config.dims;
+  const int num_bins = config.num_bins();
+  const double cap = config.capacity;
+  const double ub = config.ub();
+  if (static_cast<int>(sizes.size()) != n * d) {
+    throw std::invalid_argument("build_ffd: expected " +
+                                std::to_string(n * d) + " size vars");
+  }
+
+  FfdEncoding enc;
+  enc.config = config;
+  enc.sizes = std::move(sizes);
+  enc.fits.resize(n);
+  enc.place.resize(n);
+  enc.violate.resize(n);
+  enc.load.resize(n);
+
+  auto bins_of = [&](int i) { return std::min(i, num_bins - 1) + 1; };
+
+  // Variables first (all epochs), so the load sums below can reference
+  // earlier items' products.
+  for (int i = 0; i < n; ++i) {
+    const int nb = bins_of(i);
+    enc.violate[i].resize(nb);
+    enc.load[i].resize(nb);
+    for (int b = 0; b < nb; ++b) {
+      enc.fits[i].push_back(model.add_binary(tag(prefix, "y", i, b)));
+      enc.place[i].push_back(model.add_binary(tag(prefix, "x", i, b)));
+      for (int t = 0; t < d; ++t) {
+        enc.violate[i][b].push_back(
+            model.add_binary(tag(prefix, "v", i, b, t)));
+        enc.load[i][b].push_back(
+            model.add_var(tag(prefix, "w", i, b, t), 0.0, ub));
+      }
+    }
+  }
+  for (int b = 0; b < num_bins; ++b) {
+    enc.used.push_back(model.add_binary(tag(prefix, "u", b)));
+    enc.bins_used += enc.used[b];
+  }
+
+  for (int i = 0; i < n; ++i) {
+    const int nb = bins_of(i);
+    LinExpr placements;
+    for (int b = 0; b < nb; ++b) {
+      const Var y = enc.fits[i][b];
+      const Var x = enc.place[i][b];
+      LinExpr vsum;
+      for (int t = 0; t < d; ++t) {
+        const Var s = enc.sizes[i * d + t];
+        const Var v = enc.violate[i][b][t];
+        const Var w = enc.load[i][b][t];
+        // Load in bin b before item i's decision epoch.
+        LinExpr before;
+        for (int j = b; j < i; ++j) before += enc.load[j][b][t];
+        model.add_constraint(before + s + ub * y <= cap + ub,
+                             tag(prefix, "fit", i, b, t));
+        model.add_constraint((cap + config.epsilon) * v <= before + s,
+                             tag(prefix, "overflow", i, b, t));
+        vsum += v;
+        // McCormick envelope of w = s * x; exact because x is binary.
+        model.add_constraint(w <= ub * x, tag(prefix, "w_ub_x", i, b, t));
+        model.add_constraint(w <= LinExpr(s), tag(prefix, "w_ub_s", i, b, t));
+        model.add_constraint(w >= s - ub + ub * x,
+                             tag(prefix, "w_lb", i, b, t));
+      }
+      model.add_constraint(vsum + y >= 1.0, tag(prefix, "decide", i, b));
+      model.add_constraint(x <= y, tag(prefix, "place_fits", i, b));
+      for (int bp = 0; bp < b; ++bp) {
+        // First-fit: an earlier fitting bin forbids any later placement.
+        model.add_constraint(x + enc.fits[i][bp] <= 1.0,
+                             tag(prefix, "first", i, b, bp));
+      }
+      placements += x;
+      model.add_constraint(x <= enc.used[b], tag(prefix, "use", i, b));
+    }
+    model.add_constraint(placements == 1.0, tag(prefix, "placed", i));
+  }
+
+  for (int b = 0; b < num_bins; ++b) {
+    LinExpr opened;
+    for (int t = 0; t < d; ++t) {
+      LinExpr total;
+      for (int i = b; i < n; ++i) total += enc.load[i][b][t];
+      // FF never overfills a bin; valid cut that makes M = ub exact.
+      model.add_constraint(total <= cap, tag(prefix, "loadcap", b, t));
+    }
+    for (int i = b; i < n; ++i) opened += enc.place[i][b];
+    model.add_constraint(enc.used[b] <= opened, tag(prefix, "used", b));
+    if (b + 1 < num_bins) {
+      model.add_constraint(enc.used[b + 1] <= enc.used[b],
+                           tag(prefix, "open_order", b));
+    }
+  }
+
+  if (config.decreasing) {
+    // FFD sees only the sorted multiset, so WLOG the leader hands over
+    // sizes already sorted by decreasing key.
+    for (int i = 0; i + 1 < n; ++i) {
+      LinExpr cur;
+      LinExpr next;
+      for (int t = 0; t < d; ++t) {
+        cur += enc.sizes[i * d + t];
+        next += enc.sizes[(i + 1) * d + t];
+      }
+      model.add_constraint(cur >= next, tag(prefix, "sorted", i));
+    }
+  }
+  if (config.hose_fraction > 0.0) {
+    for (int t = 0; t < d; ++t) {
+      LinExpr total;
+      for (int i = 0; i < n; ++i) total += enc.sizes[i * d + t];
+      model.add_constraint(
+          total <= config.hose_fraction * num_bins * cap,
+          tag(prefix, "hose", t));
+    }
+  }
+
+  // Embedded OPT counterpart: the volume LP  min beta  s.t.
+  // C*beta >= sum_i s[i][t], beta >= 1. Its optimum lower-bounds the
+  // assignment OPT, so maximizing bins_used - beta soundly upper-bounds
+  // the true gap. Dual bounds follow from stationarity on beta:
+  // C * sum_t y_t + z = 1 with y, z >= 0.
+  enc.opt_bound = model.add_var(prefix + "beta", 0.0, lp::kInf);
+  enc.inner.add_decision_var(enc.opt_bound);
+  for (int t = 0; t < d; ++t) {
+    LinExpr total;
+    for (int i = 0; i < n; ++i) total += enc.sizes[i * d + t];
+    enc.inner.add_constraint(cap * enc.opt_bound >= total,
+                             tag(prefix, "volume", t), 1.0 / cap);
+  }
+  enc.inner.add_constraint(LinExpr(enc.opt_bound) >= 1.0,
+                           prefix + "at_least_one", 1.0);
+  enc.inner.set_objective(LinExpr(enc.opt_bound));
+  enc.inner.set_bound_dual_bound(1.0);
+  return enc;
+}
+
+std::optional<int> complete_ffd_assignment(const FfdEncoding& enc,
+                                           const std::vector<double>& sizes,
+                                           std::vector<double>& assign) {
+  const BinPackConfig& config = enc.config;
+  const int n = config.items;
+  const int d = config.dims;
+  const int num_bins = config.num_bins();
+  const double cap = config.capacity;
+  if (static_cast<int>(sizes.size()) != n * d) return std::nullopt;
+
+  if (config.decreasing) {
+    for (int i = 0; i + 1 < n; ++i) {
+      double cur = 0.0;
+      double next = 0.0;
+      for (int t = 0; t < d; ++t) {
+        cur += sizes[i * d + t];
+        next += sizes[(i + 1) * d + t];
+      }
+      if (next > cur + kTol) return std::nullopt;  // violates sorted rows
+    }
+  }
+
+  for (int i = 0; i < n; ++i) {
+    for (int t = 0; t < d; ++t) {
+      assign[enc.sizes[i * d + t].id] = sizes[i * d + t];
+    }
+  }
+
+  std::vector<double> load(static_cast<std::size_t>(num_bins) * d, 0.0);
+  int opened = 0;
+  for (int i = 0; i < n; ++i) {
+    const int nb = static_cast<int>(enc.fits[i].size());
+    int placed = -1;
+    for (int b = 0; b < nb; ++b) {
+      bool fits = true;
+      bool witnessed = false;
+      for (int t = 0; t < d; ++t) {
+        const double after = load[b * d + t] + sizes[i * d + t];
+        const bool fit_t = after <= cap + kTol;
+        const bool overflow_t = after >= cap + config.epsilon - kTol;
+        fits = fits && fit_t;
+        if (!fit_t && !overflow_t) return std::nullopt;  // dead band
+        if (overflow_t) {
+          assign[enc.violate[i][b][t].id] = 1.0;
+          witnessed = true;
+        }
+      }
+      if (fits) {
+        assign[enc.fits[i][b].id] = 1.0;
+        if (placed < 0) {
+          placed = b;
+          assign[enc.place[i][b].id] = 1.0;
+          for (int t = 0; t < d; ++t) {
+            assign[enc.load[i][b][t].id] = sizes[i * d + t];
+            load[b * d + t] += sizes[i * d + t];
+          }
+        }
+      } else if (!witnessed) {
+        return std::nullopt;  // no overflow dimension to point at
+      }
+    }
+    if (placed < 0) return std::nullopt;  // FF needs more than B bins
+    opened = std::max(opened, placed + 1);
+  }
+  for (int b = 0; b < opened; ++b) assign[enc.used[b].id] = 1.0;
+  return opened;
+}
+
+}  // namespace metaopt::binpack

@@ -1,0 +1,92 @@
+// Single-shot encoding of first-fit(-decreasing) bin packing.
+//
+// Unlike DP/POP, whose followers are LPs, FF is a *procedure*: each item
+// goes to the first already-probed bin it fits in. We unroll the
+// procedure over decision epochs — items in index order — with big-M /
+// indicator rows over the shared outer model (exactly how the paper
+// encodes demand pinning's if-then, §4), so the leader's size variables
+// remain free:
+//
+//   per item i, bin b (triangular: b <= min(i, B-1); first-fit can never
+//   reach bin b > i because at most i bins are open before item i — this
+//   halves the model and kills the bin-relabeling symmetry):
+//     y[i][b]  = 1  iff  bin b fits item i at i's decision epoch,
+//     x[i][b]  = 1  iff  FF places item i in bin b,
+//     v[i][b][t] = 1 marks a witnessing overflow dimension t,
+//     w[i][b][t] = s[i][t] * x[i][b]   (McCormick; exact since x binary)
+//   load L[i][b][t] = sum_{j<i} w[j][b][t]  (loads before i's epoch)
+//     fit:        L + s[i][t] + ub*y <= C + ub          (y=1 -> fits)
+//     violation:  (C+eps)*v <= L + s[i][t]              (v=1 -> overflow)
+//     link:       sum_t v + y >= 1   (fits, or some dim visibly overflows
+//                                     -- inputs inside the (C, C+eps)
+//                                     dead band are cut from the leader
+//                                     set, the paper's §5 epsilon trick)
+//     first-fit:  x[i][b] <= y[i][b];  x[i][b] + y[i][b'] <= 1, b' < b
+//     placement:  sum_b x[i][b] == 1  (FF must succeed within B bins)
+//   per bin b: load cap sum_i w[i][b][t] <= C (valid: FF never overfills;
+//     tightens the relaxation and makes the fit row's M = ub exact), and
+//     u[b] usage binaries with sum_b u[b] = bins FF uses.
+//
+// FFD is FF plus leader rows key_i >= key_{i+1} (key = sum_t s[i][t]):
+// WLOG the leader hands FFD an already-sorted multiset, since FFD only
+// sees the sorted order. The simulator breaks key ties by original index,
+// matching this identity processing order.
+//
+// The embedded OPT counterpart cannot be the assignment MIP (its loads
+// would multiply inner placements with outer sizes — bilinear). We embed
+// the *volume LP* lower bound instead:   min beta  s.t.
+// C*beta >= sum_i s[i][t] (per t), beta >= 1 — linear in the leader,
+// KKT-rewritable, and <= OPT. Maximizing bins_used - beta therefore
+// upper-bounds the true gap soundly; incumbents are re-scored exactly
+// against the assignment MIP (binpack/adversarial.cpp).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "binpack/binpack.h"
+#include "kkt/inner_problem.h"
+#include "lp/model.h"
+
+namespace metaopt::binpack {
+
+struct FfdEncoding {
+  BinPackConfig config;
+  /// Leader size variables, item-major (caller-created, [0, ub]).
+  std::vector<lp::Var> sizes;
+  /// fits[i][b], place[i][b]: b ranges over 0..min(i, B-1).
+  std::vector<std::vector<lp::Var>> fits;
+  std::vector<std::vector<lp::Var>> place;
+  /// violate[i][b][t], load[i][b][t] (= w, the s*x product).
+  std::vector<std::vector<std::vector<lp::Var>>> violate;
+  std::vector<std::vector<std::vector<lp::Var>>> load;
+  /// used[b] binaries; bins_used = sum_b used[b].
+  std::vector<lp::Var> used;
+  lp::LinExpr bins_used;
+  /// Embedded OPT lower bound: the volume LP over `opt_bound` (beta).
+  kkt::InnerProblem inner{lp::ObjSense::Minimize};
+  lp::Var opt_bound;
+};
+
+/// Emits the FF/FFD unrolling over `sizes` into `model` and declares the
+/// volume-LP inner problem (call kkt::emit_kkt(model, enc.inner, ...)
+/// afterwards). `sizes` must hold config.items * config.dims variables.
+/// config.decreasing additionally emits the FFD sortedness rows;
+/// config.hose_fraction > 0 emits the per-dimension total-size caps.
+FfdEncoding build_ffd(lp::Model& model, std::vector<lp::Var> sizes,
+                      const BinPackConfig& config,
+                      const std::string& prefix = "ffd.");
+
+/// Completes `assign` (indexed by outer VarId; leader entries may be
+/// unset — this writes them) with the values the encoding's binaries and
+/// products take when FF runs on `sizes`. Returns the bins used, or
+/// nullopt when the point is outside the encoded leader set: a fit
+/// decision lands in the (C, C+eps) dead band, FF needs more than B
+/// bins, or (FFD) the sizes are not key-sorted. The inner decision
+/// variable (beta) is NOT set — kkt::assemble_kkt_point does that.
+std::optional<int> complete_ffd_assignment(const FfdEncoding& enc,
+                                           const std::vector<double>& sizes,
+                                           std::vector<double>& assign);
+
+}  // namespace metaopt::binpack

@@ -1,0 +1,23 @@
+#include "binpack/instance.h"
+
+namespace metaopt::binpack {
+
+std::string BinPackInstance::leader_var_name(int k) const {
+  const int i = k / config_.dims;
+  const int t = k % config_.dims;
+  if (config_.dims == 1) return "s[" + std::to_string(i) + "]";
+  return "s[" + std::to_string(i) + "," + std::to_string(t) + "]";
+}
+
+std::unique_ptr<heur::HeuristicInstance> make_binpack_instance(
+    const heur::InstanceConfig& config, bool decreasing) {
+  BinPackConfig bp;
+  bp.items = config.items;
+  bp.dims = config.dims;
+  bp.bins = config.bins;
+  bp.size_ub = config.leader_ub;  // <= 0 keeps the capacity default
+  bp.decreasing = decreasing;
+  return std::make_unique<BinPackInstance>(decreasing ? "ffd" : "ff", bp);
+}
+
+}  // namespace metaopt::binpack

@@ -1,0 +1,52 @@
+// heur::HeuristicInstance adapter for the bin-packing domain.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "binpack/adversarial.h"
+#include "binpack/binpack.h"
+#include "heur/instance.h"
+
+namespace metaopt::binpack {
+
+/// "ffd" (decreasing) or "ff" (arrival order) behind the domain-neutral
+/// interface. Leader variables are the item-major size entries.
+class BinPackInstance final : public heur::HeuristicInstance {
+ public:
+  BinPackInstance(std::string name, BinPackConfig config)
+      : name_(std::move(name)), config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] int num_leader_vars() const override {
+    return config_.items * config_.dims;
+  }
+  [[nodiscard]] double leader_ub() const override { return config_.ub(); }
+  [[nodiscard]] double gap_normalizer() const override {
+    return static_cast<double>(config_.num_bins());
+  }
+  [[nodiscard]] std::string leader_var_name(int k) const override;
+  [[nodiscard]] std::vector<double> quantize_levels() const override {
+    return binpack::quantize_levels(config_);
+  }
+  [[nodiscard]] std::unique_ptr<heur::GapOracle> make_oracle() const override {
+    return std::make_unique<BinPackGapOracle>(config_);
+  }
+  [[nodiscard]] heur::GapFindResult find_gap(
+      const heur::FindOptions& options) const override {
+    return find_ffd_gap(config_, options);
+  }
+
+  [[nodiscard]] const BinPackConfig& config() const { return config_; }
+
+ private:
+  std::string name_;
+  BinPackConfig config_;
+};
+
+/// Maps the flat InstanceConfig onto a BinPackConfig ("ffd" when
+/// `decreasing`, else "ff") — the factory domains/domains.cpp registers.
+std::unique_ptr<heur::HeuristicInstance> make_binpack_instance(
+    const heur::InstanceConfig& config, bool decreasing);
+
+}  // namespace metaopt::binpack

@@ -8,6 +8,7 @@
 #include "kkt/materialize.h"
 #include "kkt/parametric.h"
 #include "te/client_split.h"
+#include "te/gap.h"
 #include "te/max_flow.h"
 #include "search/search.h"
 #include "util/logging.h"
@@ -526,7 +527,7 @@ AdversarialResult AdversarialGapFinder::find_pop_cs_gap(
                   std::vector<std::uint64_t> seeds)
           : topo_(topo), paths_(paths), pop_(pop), cs_(cs),
             seeds_(std::move(seeds)) {}
-      [[nodiscard]] int num_demands() const override {
+      [[nodiscard]] int num_leader_vars() const override {
         return paths_.num_pairs();
       }
       [[nodiscard]] te::GapResult evaluate(

@@ -20,6 +20,7 @@
 
 #include "core/input_constraints.h"
 #include "core/sorting_network.h"
+#include "heur/instance.h"
 #include "lp/model.h"
 #include "mip/branch_and_bound.h"
 #include "net/topology.h"
@@ -55,30 +56,9 @@ struct AdversarialOptions {
   AdversarialOptions() { mip.time_limit_seconds = 60.0; }
 };
 
-struct AdversarialResult {
-  lp::SolveStatus status = lp::SolveStatus::Error;
-  /// Best verified gap OPT(d) - Heuristic(d) and its input.
-  double gap = 0.0;
-  /// gap / sum of edge capacities (the Fig. 3 metric).
-  double normalized_gap = 0.0;
-  double opt_value = 0.0;
-  double heur_value = 0.0;
-  std::vector<double> volumes;  ///< per pair (full pair vector)
-  /// Proven upper bound on the achievable gap (== gap when Optimal).
-  double bound = 0.0;
-  /// Incumbent trace: (seconds, gap) — the Fig. 3 white-box series.
-  std::vector<std::pair<double, double>> trace;
-  /// Single-shot model statistics (Fig. 6).
-  lp::ModelStats stats;
-  double seconds = 0.0;
-  long nodes = 0;
-  /// True when the solve ran with certification enabled and the
-  /// incumbent passed check::certify_mip (see Solution::certified).
-  bool certified = false;
-
-  /// True when a (possibly non-optimal) adversarial input was found.
-  [[nodiscard]] bool has_solution() const { return !volumes.empty(); }
-};
+/// The result shape is shared with every other heuristic domain now
+/// (heur/instance.h); the TE name survives as an alias.
+using AdversarialResult = heur::GapFindResult;
 
 /// Deterministic descriptor of the random POP(I) targeted by the search
 /// (§3.2): the empirical mean over the instantiation seeds, or an order

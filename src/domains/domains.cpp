@@ -1,0 +1,29 @@
+#include "domains/domains.h"
+
+#include <mutex>
+
+#include "binpack/instance.h"
+#include "domains/te_instances.h"
+#include "heur/instance.h"
+
+namespace metaopt::domains {
+
+void register_builtin() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    heur::register_heuristic("dp", [](const heur::InstanceConfig& config) {
+      return std::make_unique<TeDpInstance>(config);
+    });
+    heur::register_heuristic("pop", [](const heur::InstanceConfig& config) {
+      return std::make_unique<TePopInstance>(config);
+    });
+    heur::register_heuristic("ffd", [](const heur::InstanceConfig& config) {
+      return binpack::make_binpack_instance(config, /*decreasing=*/true);
+    });
+    heur::register_heuristic("ff", [](const heur::InstanceConfig& config) {
+      return binpack::make_binpack_instance(config, /*decreasing=*/false);
+    });
+  });
+}
+
+}  // namespace metaopt::domains

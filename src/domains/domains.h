@@ -1,0 +1,16 @@
+// Builtin heuristic-domain registration.
+//
+// Registration is an explicit call, not static-initializer magic: static
+// libraries silently drop unreferenced initializers, and an explicit
+// register_builtin() in each binary's main() is trivially auditable.
+#pragma once
+
+namespace metaopt::domains {
+
+/// Registers every builtin heuristic family with the heur:: registry:
+/// "dp", "pop" (TE), "ffd", "ff" (bin packing). Idempotent and
+/// thread-safe; call once near the top of main() (or a test fixture)
+/// before heur::make_instance.
+void register_builtin();
+
+}  // namespace metaopt::domains

@@ -1,0 +1,115 @@
+#include "domains/te_instances.h"
+
+#include <algorithm>
+
+#include "net/topologies.h"
+#include "net/topology_io.h"
+#include "te/gap.h"
+#include "util/rng.h"
+
+namespace metaopt::domains {
+
+net::Topology load_topology(const std::string& spec) {
+  if (spec == "b4") return net::topologies::b4();
+  if (spec == "abilene") return net::topologies::abilene();
+  if (spec == "swan") return net::topologies::swan();
+  if (spec == "fig1") return net::topologies::fig1();
+  return net::read_topology_file(spec);
+}
+
+std::vector<bool> make_support_mask(int num_pairs, int target) {
+  std::vector<bool> mask;
+  if (target <= 0 || target >= num_pairs) return mask;  // empty = all pairs
+  mask.assign(num_pairs, false);
+  const int stride = std::max(1, num_pairs / target);
+  int enabled = 0;
+  for (int k = 0; k < num_pairs && enabled < target; k += stride) {
+    mask[k] = true;
+    ++enabled;
+  }
+  return mask;
+}
+
+TeInstanceBase::TeInstanceBase(const heur::InstanceConfig& config)
+    : topo_(load_topology(config.topology)),
+      paths_(topo_, te::all_pairs(topo_), config.paths_per_pair) {
+  mask_ = make_support_mask(paths_.num_pairs(), config.support);
+  demand_ub_ =
+      config.leader_ub > 0.0 ? config.leader_ub : topo_.max_capacity();
+}
+
+std::string TeInstanceBase::leader_var_name(int k) const {
+  const auto& pair = paths_.pair(k);
+  return "d[" + std::to_string(pair.first) + "->" +
+         std::to_string(pair.second) + "]";
+}
+
+core::AdversarialOptions TeInstanceBase::adversarial_options(
+    const heur::FindOptions& options) const {
+  core::AdversarialOptions adv;
+  adv.demand_ub = demand_ub_;
+  adv.pair_mask = mask_;
+  adv.mip.time_limit_seconds = options.budget_seconds;
+  adv.mip.certify = options.certify;
+  adv.mip.lp.certify = options.certify;
+  adv.mip.threads = options.mip_threads;
+  adv.seed_search_seconds = options.seed_search_seconds;
+  return adv;
+}
+
+TeDpInstance::TeDpInstance(const heur::InstanceConfig& config)
+    : TeInstanceBase(config), threshold_(config.threshold) {}
+
+std::vector<double> TeDpInstance::quantize_levels() const {
+  return {0.0, threshold_, demand_ub_};
+}
+
+std::unique_ptr<heur::GapOracle> TeDpInstance::make_oracle() const {
+  te::DpConfig dp;
+  dp.threshold = threshold_;
+  dp.demand_ub = demand_ub_;
+  return std::make_unique<te::DpGapOracle>(topo_, paths_, dp);
+}
+
+heur::GapFindResult TeDpInstance::find_gap(
+    const heur::FindOptions& options) const {
+  const core::AdversarialGapFinder finder(topo_, paths_);
+  te::DpConfig dp;
+  dp.threshold = threshold_;
+  return finder.find_dp_gap(dp, adversarial_options(options));
+}
+
+TePopInstance::TePopInstance(const heur::InstanceConfig& config)
+    : TeInstanceBase(config), partitions_(config.partitions) {
+  if (!config.pop_seeds.empty()) {
+    seeds_ = config.pop_seeds;
+  } else {
+    // Instantiation seeds off the job's splitmix stream: identical for
+    // any rerun of the same spec, decorrelated across jobs.
+    std::uint64_t state = config.stream_seed;
+    seeds_.reserve(static_cast<std::size_t>(config.pop_instances));
+    for (int r = 0; r < config.pop_instances; ++r) {
+      seeds_.push_back(util::splitmix64(state));
+    }
+  }
+}
+
+std::vector<double> TePopInstance::quantize_levels() const {
+  return {0.0, demand_ub_};
+}
+
+std::unique_ptr<heur::GapOracle> TePopInstance::make_oracle() const {
+  te::PopConfig pop;
+  pop.num_partitions = partitions_;
+  return std::make_unique<te::PopGapOracle>(topo_, paths_, pop, seeds_);
+}
+
+heur::GapFindResult TePopInstance::find_gap(
+    const heur::FindOptions& options) const {
+  const core::AdversarialGapFinder finder(topo_, paths_);
+  te::PopConfig pop;
+  pop.num_partitions = partitions_;
+  return finder.find_pop_gap(pop, seeds_, adversarial_options(options));
+}
+
+}  // namespace metaopt::domains

@@ -1,0 +1,27 @@
+#include "heur/gap.h"
+
+namespace metaopt::heur {
+
+MaskedGapOracle::MaskedGapOracle(const GapOracle& base,
+                                 std::vector<bool> include)
+    : base_(base) {
+  for (std::size_t k = 0; k < include.size(); ++k) {
+    if (include[k]) active_.push_back(static_cast<int>(k));
+  }
+}
+
+std::vector<double> MaskedGapOracle::expand(
+    const std::vector<double>& reduced) const {
+  std::vector<double> full(base_.num_leader_vars(), 0.0);
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    full[active_[i]] = reduced[i];
+  }
+  return full;
+}
+
+GapResult MaskedGapOracle::evaluate(const std::vector<double>& leader) const {
+  count_evaluation();
+  return base_.evaluate(expand(leader));
+}
+
+}  // namespace metaopt::heur

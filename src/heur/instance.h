@@ -1,0 +1,163 @@
+// HeuristicInstance: one heuristic domain behind a uniform interface.
+//
+// An instance binds a concrete problem setting (a TE topology with a DP
+// threshold; a bin-packing shape with so-many items and dimensions) and
+// exposes the two operations every layer above needs:
+//
+//   * make_oracle()  — direct gap evaluation for the black-box searchers,
+//   * find_gap()     — the single-shot white-box adversarial search.
+//
+// search/ and runner/ depend only on this header, never on a domain, so
+// adding a heuristic family is: implement the interface, register a
+// factory (domains/domains.h), done — the CLI, the sweep runner, and the
+// benches pick it up by name.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "heur/gap.h"
+#include "lp/model.h"
+
+namespace metaopt::heur {
+
+/// Budgets for a single white-box gap-finding run (the domain-neutral
+/// subset of what used to be core::AdversarialOptions).
+struct FindOptions {
+  /// Total solver wall budget, seconds (seeding included).
+  double budget_seconds = 30.0;
+  /// Independently certify the incumbent (check::certify_mip) and any
+  /// direct re-solves backing the reported gap.
+  bool certify = false;
+  /// B&B worker threads (clamped to 1 inside a parallel sweep pool).
+  int mip_threads = 1;
+  /// Budget for the black-box pass that seeds the first incumbent
+  /// (quantized climb + polish; §5's extremum-point observation).
+  /// 0 disables seeding, which makes the run machine-load independent.
+  double seed_search_seconds = 0.0;
+};
+
+/// Result of a white-box gap-finding run. Domain-neutral twin of the
+/// original TE-only result struct (core::AdversarialResult is now an
+/// alias of this type).
+struct GapFindResult {
+  lp::SolveStatus status = lp::SolveStatus::Error;
+  /// Best verified gap (heuristic vs OPT, in the adversarial direction)
+  /// and its input.
+  double gap = 0.0;
+  /// gap / HeuristicInstance::gap_normalizer() (total capacity for TE —
+  /// the Fig. 3 metric; bin count for bin packing).
+  double normalized_gap = 0.0;
+  double opt_value = 0.0;
+  double heur_value = 0.0;
+  /// The adversarial leader vector (demand volumes / item sizes).
+  std::vector<double> volumes;
+  /// Proven upper bound on the achievable gap (== gap when Optimal).
+  /// For domains whose embedded OPT is a relaxation (binpack), this
+  /// bounds the embedded objective, which upper-bounds the true gap.
+  double bound = 0.0;
+  /// Incumbent trace: (seconds, objective) — the Fig. 3 white-box series.
+  std::vector<std::pair<double, double>> trace;
+  /// Single-shot model statistics (Fig. 6).
+  lp::ModelStats stats;
+  double seconds = 0.0;
+  long nodes = 0;
+  /// True when the solve ran with certification enabled and the
+  /// incumbent passed check::certify_mip (see Solution::certified).
+  bool certified = false;
+
+  /// True when a (possibly non-optimal) adversarial input was found.
+  [[nodiscard]] bool has_solution() const { return !volumes.empty(); }
+};
+
+/// Everything a factory may need to build an instance. One flat struct
+/// rather than per-domain types so the sweep runner and the CLI can fill
+/// it from a JobSpec / argv without knowing which keys a domain reads;
+/// domains ignore the knobs that are not theirs.
+struct InstanceConfig {
+  std::string heuristic = "dp";  ///< registry key: dp, pop, ffd, ff, ...
+
+  // ---- shared knobs ----
+  /// Leader box upper bound; <= 0 means the domain default (max link
+  /// capacity for TE, bin capacity for bin packing).
+  double leader_ub = 0.0;
+  /// Restrict the adversarial support to ~this many leader variables
+  /// (partially-specified goalposts, §3.3). 0 = all.
+  int support = 0;
+  /// Grid-coordinate seed (CLI --seed).
+  std::uint64_t seed = 1;
+  /// Decorrelated per-job stream; feeds all in-job randomness (POP
+  /// instantiation seeds) when explicit seeds are not given.
+  std::uint64_t stream_seed = 1;
+
+  // ---- TE knobs ----
+  std::string topology = "b4";
+  int paths_per_pair = 2;
+  double threshold = 50.0;  ///< DP pinning threshold
+  int partitions = 2;       ///< POP partitions
+  int pop_instances = 3;    ///< POP instantiations averaged (§3.2)
+  /// Explicit POP instantiation seeds (CLI behaviour: base, base+1, ...).
+  /// Empty = derive pop_instances seeds from stream_seed via splitmix.
+  std::vector<std::uint64_t> pop_seeds;
+
+  // ---- bin-packing knobs ----
+  int items = 6;  ///< leader-controlled items
+  int dims = 1;   ///< vector dimensions per item
+  int bins = 0;   ///< bin budget; 0 = one bin per item
+};
+
+class HeuristicInstance {
+ public:
+  virtual ~HeuristicInstance() = default;
+
+  /// Registry key this instance was built under ("dp", "ffd", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Dimension of the leader vector.
+  [[nodiscard]] virtual int num_leader_vars() const = 0;
+  /// Upper bound of the leader box [0, ub]^n.
+  [[nodiscard]] virtual double leader_ub() const = 0;
+  /// Denominator for normalized gaps (TE: total capacity; binpack: bin
+  /// budget).
+  [[nodiscard]] virtual double gap_normalizer() const = 0;
+  /// Human-readable name of leader variable k (CLI incumbent printing).
+  [[nodiscard]] virtual std::string leader_var_name(int k) const = 0;
+  /// Quantization levels where worst-case gaps concentrate (§5); feeds
+  /// search::quantized_climb.
+  [[nodiscard]] virtual std::vector<double> quantize_levels() const = 0;
+  /// Direct-evaluation oracle. The oracle borrows this instance: keep
+  /// the instance alive while the oracle is in use.
+  [[nodiscard]] virtual std::unique_ptr<GapOracle> make_oracle() const = 0;
+  /// The single-shot white-box adversarial search (Eq. 1).
+  [[nodiscard]] virtual GapFindResult find_gap(
+      const FindOptions& options) const = 0;
+};
+
+// ---- registry ----
+//
+// Domains self-describe with a name -> factory map. Registration is
+// explicit (domains::register_builtin()), not static-initializer magic:
+// static libraries silently drop unreferenced initializers, and an
+// explicit call site in each binary is trivially auditable.
+
+using InstanceFactory =
+    std::function<std::unique_ptr<HeuristicInstance>(const InstanceConfig&)>;
+
+/// Registers (or replaces) a factory under `name`. Thread-safe.
+void register_heuristic(const std::string& name, InstanceFactory factory);
+
+/// True when `name` has a registered factory.
+[[nodiscard]] bool is_registered(const std::string& name);
+
+/// Registered names, sorted (error messages, --help listings).
+[[nodiscard]] std::vector<std::string> registered_heuristics();
+
+/// Builds an instance of config.heuristic. Throws std::invalid_argument
+/// naming the unknown heuristic and listing the registered ones.
+[[nodiscard]] std::unique_ptr<HeuristicInstance> make_instance(
+    const InstanceConfig& config);
+
+}  // namespace metaopt::heur

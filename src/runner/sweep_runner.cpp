@@ -8,39 +8,15 @@
 #include <stdexcept>
 #include <utility>
 
-#include "net/topologies.h"
-#include "net/topology_io.h"
 #include "obs/obs.h"
 #include "runner/thread_pool.h"
 #include "util/csv.h"
 #include "util/logging.h"
-#include "util/rng.h"
 #include "util/stopwatch.h"
 
 namespace metaopt::runner {
 
 namespace {
-
-net::Topology load_topology(const std::string& spec) {
-  if (spec == "b4") return net::topologies::b4();
-  if (spec == "abilene") return net::topologies::abilene();
-  if (spec == "swan") return net::topologies::swan();
-  if (spec == "fig1") return net::topologies::fig1();
-  return net::read_topology_file(spec);
-}
-
-std::vector<bool> make_mask(int num_pairs, int target) {
-  std::vector<bool> mask;
-  if (target <= 0 || target >= num_pairs) return mask;  // empty = all pairs
-  mask.assign(num_pairs, false);
-  const int stride = std::max(1, num_pairs / target);
-  int enabled = 0;
-  for (int k = 0; k < num_pairs && enabled < target; k += stride) {
-    mask[k] = true;
-    ++enabled;
-  }
-  return mask;
-}
 
 // Fixed shortest-exact formatting so identical doubles always serialize
 // to identical bytes (the JSONL determinism contract).
@@ -86,7 +62,7 @@ const char* to_string(JobStatus status) {
 
 std::string to_json(const JobResult& r) {
   const JobSpec& s = r.spec;
-  const core::AdversarialResult& a = r.result;
+  const heur::GapFindResult& a = r.result;
   std::string out = "{";
   const auto field = [&out](const std::string& key, const std::string& value) {
     if (out.size() > 1) out += ",";
@@ -102,6 +78,9 @@ std::string to_json(const JobResult& r) {
   field("stream_seed", std::to_string(s.stream_seed));
   field("instances", std::to_string(s.pop_instances));
   field("pairs", std::to_string(s.pairs));
+  field("items", std::to_string(s.items));
+  field("dims", std::to_string(s.dims));
+  field("bins", std::to_string(s.bins));
   field("budget", json_number(s.budget_seconds));
   field("status", json_string(to_string(r.status)));
   field("solve_status", json_string(lp::to_string(a.status)));
@@ -159,42 +138,39 @@ void SweepReport::write_csv(const std::string& path,
 
 SweepRunner::SweepRunner(SweepOptions options) : options_(std::move(options)) {}
 
-core::AdversarialResult SweepRunner::execute_job(const JobSpec& job) {
-  const net::Topology topo = load_topology(job.topology);
-  const te::PathSet paths(topo, te::all_pairs(topo), job.paths_per_pair);
-  const core::AdversarialGapFinder finder(topo, paths);
+heur::GapFindResult SweepRunner::execute_job(const JobSpec& job) {
+  heur::InstanceConfig config;
+  config.heuristic = to_string(job.heuristic);
+  config.leader_ub = job.demand_ub;
+  config.support = job.pairs;
+  config.seed = job.seed;
+  // Everything random inside the job (POP instantiation seeds) comes
+  // off this spec-derived stream: identical for any rerun of the same
+  // spec, decorrelated across jobs.
+  config.stream_seed = job.stream_seed;
+  config.topology = job.topology;
+  config.paths_per_pair = job.paths_per_pair;
+  config.threshold = job.threshold;
+  config.partitions = job.num_partitions;
+  config.pop_instances = job.pop_instances;
+  config.items = job.items;
+  config.dims = job.dims;
+  config.bins = job.bins;
+  const std::unique_ptr<heur::HeuristicInstance> instance =
+      heur::make_instance(config);
 
-  core::AdversarialOptions options;
-  options.mip.time_limit_seconds = job.budget_seconds;
-  options.demand_ub = job.demand_ub;
-  options.pair_mask = make_mask(paths.num_pairs(), job.pairs);
-  options.mip.certify = job.certify;
-  options.mip.lp.certify = job.certify;
+  heur::FindOptions options;
+  options.budget_seconds = job.budget_seconds;
+  options.certify = job.certify;
   // No-op inside a multi-thread sweep pool: the B&B clamps itself back
   // to 1 when it detects the surrounding parallel region.
-  options.mip.threads = job.mip_threads;
+  options.mip_threads = job.mip_threads;
   // The black-box seeding pass is wall-clock budgeted, so its incumbents
   // (and through them the B&B node count) depend on machine load; a
   // deterministic job trades it away for byte-reproducibility.
   options.seed_search_seconds =
       job.deterministic ? 0.0 : job.seed_search_fraction * job.budget_seconds;
-
-  if (job.heuristic == Heuristic::Dp) {
-    te::DpConfig dp;
-    dp.threshold = job.threshold;
-    return finder.find_dp_gap(dp, options);
-  }
-  te::PopConfig pop;
-  pop.num_partitions = job.num_partitions;
-  // Instantiation seeds come off the job's splitmix stream: identical
-  // for any rerun of the same spec, decorrelated across jobs.
-  std::uint64_t state = job.stream_seed;
-  std::vector<std::uint64_t> seeds;
-  seeds.reserve(static_cast<std::size_t>(job.pop_instances));
-  for (int r = 0; r < job.pop_instances; ++r) {
-    seeds.push_back(util::splitmix64(state));
-  }
-  return finder.find_pop_gap(pop, seeds, options);
+  return instance->find_gap(options);
 }
 
 SweepReport SweepRunner::run(const SweepSpec& spec) const {

@@ -21,7 +21,7 @@
 #include <string>
 #include <vector>
 
-#include "core/adversarial.h"
+#include "heur/instance.h"
 #include "obs/metrics.h"
 #include "runner/sweep_spec.h"
 
@@ -39,7 +39,7 @@ struct JobResult {
   JobSpec spec;
   JobStatus status = JobStatus::Failed;
   std::string error;                ///< exception message when Failed
-  core::AdversarialResult result;   ///< valid unless Failed
+  heur::GapFindResult result;       ///< valid unless Failed
   double wall_seconds = 0.0;        ///< job wall time inside the pool
   /// Per-job obs metric deltas (shard-group diff around the job body:
   /// the group tag follows the job onto any worker threads it spawns,
@@ -86,7 +86,7 @@ struct SweepOptions {
 
 class SweepRunner {
  public:
-  using JobFn = std::function<core::AdversarialResult(const JobSpec&)>;
+  using JobFn = std::function<heur::GapFindResult(const JobSpec&)>;
 
   explicit SweepRunner(SweepOptions options = {});
 
@@ -98,10 +98,12 @@ class SweepRunner {
   [[nodiscard]] SweepReport run_jobs(const std::vector<JobSpec>& jobs,
                                      const JobFn& fn) const;
 
-  /// The default job body: builds topology/paths/finder from the spec
-  /// and runs the single-shot adversarial search. Stateless and
-  /// thread-safe; throws on unknown topology.
-  static core::AdversarialResult execute_job(const JobSpec& job);
+  /// The default job body: builds the job's HeuristicInstance through
+  /// the heur:: registry and runs its single-shot adversarial search.
+  /// Stateless and thread-safe; throws on an unregistered heuristic
+  /// (call domains::register_builtin() in the binary first) or unknown
+  /// topology.
+  static heur::GapFindResult execute_job(const JobSpec& job);
 
  private:
   SweepOptions options_;

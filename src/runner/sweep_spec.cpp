@@ -12,7 +12,13 @@
 namespace metaopt::runner {
 
 const char* to_string(Heuristic h) {
-  return h == Heuristic::Dp ? "dp" : "pop";
+  switch (h) {
+    case Heuristic::Dp: return "dp";
+    case Heuristic::Pop: return "pop";
+    case Heuristic::Ffd: return "ffd";
+    case Heuristic::Ff: return "ff";
+  }
+  return "?";
 }
 
 Heuristic heuristic_from_string(const std::string& name) {
@@ -23,7 +29,10 @@ Heuristic heuristic_from_string(const std::string& name) {
   }
   if (lower == "dp") return Heuristic::Dp;
   if (lower == "pop") return Heuristic::Pop;
-  throw std::invalid_argument("unknown heuristic '" + name + "'");
+  if (lower == "ffd") return Heuristic::Ffd;
+  if (lower == "ff") return Heuristic::Ff;
+  throw std::invalid_argument("unknown heuristic '" + name +
+                              "' (known: dp, pop, ffd, ff)");
 }
 
 std::vector<JobSpec> expand_spec(const SweepSpec& spec) {
@@ -43,11 +52,18 @@ std::vector<JobSpec> expand_spec(const SweepSpec& spec) {
   if (spec.mip_threads <= 0) {
     throw std::invalid_argument("sweep spec: mip-threads must be positive");
   }
+  if (spec.dims <= 0) {
+    throw std::invalid_argument("sweep spec: dims must be positive");
+  }
+  if (spec.bins < 0) {
+    throw std::invalid_argument("sweep spec: bins must be >= 0");
+  }
 
   std::vector<JobSpec> jobs;
   int id = 0;
   const auto push = [&](const std::string& topo, Heuristic h, double threshold,
-                        int num_partitions, int paths, std::uint64_t seed) {
+                        int num_partitions, int items, int paths,
+                        std::uint64_t seed) {
     if (spec.max_jobs > 0 && static_cast<int>(jobs.size()) >= spec.max_jobs) {
       return;
     }
@@ -57,6 +73,9 @@ std::vector<JobSpec> expand_spec(const SweepSpec& spec) {
     job.heuristic = h;
     job.threshold = threshold;
     job.num_partitions = num_partitions;
+    job.items = items;
+    job.dims = spec.dims;
+    job.bins = spec.bins;
     job.paths_per_pair = paths;
     job.seed = seed;
     // Mix the seed coordinate in as a second stream index so two jobs
@@ -77,7 +96,7 @@ std::vector<JobSpec> expand_spec(const SweepSpec& spec) {
 
   for (const std::string& topo : spec.topologies) {
     for (Heuristic h : spec.heuristics) {
-      // The heuristic picks its own swept axis; the other one is inert.
+      // The heuristic picks its own swept axis; the others are inert.
       if (h == Heuristic::Dp) {
         if (spec.thresholds.empty()) {
           throw std::invalid_argument("sweep spec: dp axis needs thresholds");
@@ -85,11 +104,11 @@ std::vector<JobSpec> expand_spec(const SweepSpec& spec) {
         for (double threshold : spec.thresholds) {
           for (int paths : spec.paths_per_pair) {
             for (std::uint64_t seed : spec.seeds) {
-              push(topo, h, threshold, 0, paths, seed);
+              push(topo, h, threshold, 0, 0, paths, seed);
             }
           }
         }
-      } else {
+      } else if (h == Heuristic::Pop) {
         if (spec.partitions.empty()) {
           throw std::invalid_argument("sweep spec: pop axis needs partitions");
         }
@@ -99,8 +118,24 @@ std::vector<JobSpec> expand_spec(const SweepSpec& spec) {
           }
           for (int paths : spec.paths_per_pair) {
             for (std::uint64_t seed : spec.seeds) {
-              push(topo, h, 0.0, parts, paths, seed);
+              push(topo, h, 0.0, parts, 0, paths, seed);
             }
+          }
+        }
+      } else {
+        // Bin packing has no topology or path set; emit its items x seed
+        // jobs once (on the first topology pass), tagged with the first
+        // topology/paths values so ids stay stable across reruns.
+        if (topo != spec.topologies.front()) continue;
+        if (spec.items.empty()) {
+          throw std::invalid_argument("sweep spec: ffd/ff axis needs items");
+        }
+        for (int items : spec.items) {
+          if (items <= 0) {
+            throw std::invalid_argument("sweep spec: items must be > 0");
+          }
+          for (std::uint64_t seed : spec.seeds) {
+            push(topo, h, 0.0, 0, items, spec.paths_per_pair.front(), seed);
           }
         }
       }
@@ -217,6 +252,15 @@ SweepSpec parse_sweep_spec(const std::vector<std::string>& tokens) {
       for (long long v : parse_int_list(key, value)) {
         spec.partitions.push_back(static_cast<int>(v));
       }
+    } else if (key == "items") {
+      spec.items.clear();
+      for (long long v : parse_int_list(key, value)) {
+        spec.items.push_back(static_cast<int>(v));
+      }
+    } else if (key == "dims") {
+      spec.dims = static_cast<int>(parse_scalar(key, value));
+    } else if (key == "bins") {
+      spec.bins = static_cast<int>(parse_scalar(key, value));
     } else if (key == "paths") {
       spec.paths_per_pair.clear();
       for (long long v : parse_int_list(key, value)) {

@@ -20,12 +20,19 @@
 
 namespace metaopt::runner {
 
-enum class Heuristic { Dp, Pop };
+enum class Heuristic { Dp, Pop, Ffd, Ff };
 
 const char* to_string(Heuristic h);
 
-/// Parses "dp" or "pop" (case-insensitive); throws std::invalid_argument.
+/// Parses "dp", "pop", "ffd", or "ff" (case-insensitive); throws
+/// std::invalid_argument listing the known names.
 Heuristic heuristic_from_string(const std::string& name);
+
+/// True for the bin-packing families, which sweep the items axis and
+/// ignore the topology/threshold/partitions/paths axes entirely.
+[[nodiscard]] constexpr bool is_binpack(Heuristic h) {
+  return h == Heuristic::Ffd || h == Heuristic::Ff;
+}
 
 struct SweepSpec {
   // ---- grid axes (cartesian product) ----
@@ -35,6 +42,8 @@ struct SweepSpec {
   std::vector<double> thresholds{50.0};
   /// POP partition counts. Only the POP axis.
   std::vector<int> partitions{2};
+  /// Bin-packing item counts. Only the FFD/FF axis.
+  std::vector<int> items{6};
   std::vector<int> paths_per_pair{2};
   /// Seed coordinates: one job per seed; the job's RNG stream is derived
   /// from (base_seed, job id), the seed is a plain grid coordinate.
@@ -48,8 +57,13 @@ struct SweepSpec {
   int pairs = 0;
   /// Solver wall budget per job, seconds.
   double budget_seconds = 30.0;
-  /// Demand box upper bound; 0 = max link capacity.
+  /// Demand box upper bound; 0 = max link capacity (TE) or the bin
+  /// capacity (FFD/FF — the generic leader-box bound).
   double demand_ub = 0.0;
+  /// Bin-packing: vector dimensions per item (FFD/FF jobs only).
+  int dims = 1;
+  /// Bin-packing: bin budget; 0 = one bin per item (FFD/FF jobs only).
+  int bins = 0;
   /// Fraction of the per-job budget spent on the black-box seeding pass
   /// when `deterministic` is false (seed_search_seconds = fraction *
   /// budget). Figure benches tune this per figure; 0 disables seeding
@@ -84,6 +98,9 @@ struct JobSpec {
   Heuristic heuristic = Heuristic::Dp;
   double threshold = 0.0;    ///< DP only
   int num_partitions = 0;    ///< POP only
+  int items = 0;             ///< FFD/FF only
+  int dims = 1;              ///< FFD/FF only
+  int bins = 0;              ///< FFD/FF only
   int paths_per_pair = 2;
   std::uint64_t seed = 1;    ///< grid coordinate
   std::uint64_t stream_seed = 0;  ///< derived; feeds all in-job randomness
@@ -96,26 +113,35 @@ struct JobSpec {
   bool certify = false;
   int mip_threads = 1;
 
-  /// The swept x-coordinate: threshold for DP, partitions for POP.
+  /// The swept x-coordinate: threshold for DP, partitions for POP,
+  /// item count for FFD/FF.
   [[nodiscard]] double axis_value() const {
-    return heuristic == Heuristic::Dp ? threshold
-                                      : static_cast<double>(num_partitions);
+    switch (heuristic) {
+      case Heuristic::Dp: return threshold;
+      case Heuristic::Pop: return static_cast<double>(num_partitions);
+      case Heuristic::Ffd:
+      case Heuristic::Ff: return static_cast<double>(items);
+    }
+    return 0.0;
   }
 };
 
 /// Expands the grid into jobs with stable ids (nested order: topology,
-/// heuristic, threshold|partitions, paths, seed) and derived stream
-/// seeds. Honors max_jobs. Throws std::invalid_argument on an empty axis
-/// or non-positive per-job parameters.
+/// heuristic, threshold|partitions|items, paths, seed) and derived
+/// stream seeds. FFD/FF jobs ignore the topology and paths axes (one job
+/// per items x seed cell, tagged with the first topology/paths values so
+/// ids stay stable). Honors max_jobs. Throws std::invalid_argument on an
+/// empty axis or non-positive per-job parameters.
 std::vector<JobSpec> expand_spec(const SweepSpec& spec);
 
 /// Builds a SweepSpec from `key=value` tokens (the `metaopt sweep`
 /// grammar, also accepted one-per-line from a spec file):
 ///
-///   topology=b4,swan      heuristic=dp,pop      threshold=25,50,100
-///   partitions=2,4,8      paths=2               seed=1..8
-///   instances=3           pairs=12              budget=20
-///   demand-ub=0           base-seed=1           deterministic=1
+///   topology=b4,swan      heuristic=dp,pop,ffd  threshold=25,50,100
+///   partitions=2,4,8      items=4..12           paths=2
+///   seed=1..8             instances=3           pairs=12
+///   budget=20             demand-ub=0           dims=1
+///   bins=0                base-seed=1           deterministic=1
 ///   certify=0             max-jobs=100          seed-fraction=0.3
 ///   mip-threads=1
 ///

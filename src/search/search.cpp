@@ -20,9 +20,9 @@ const obs::Histogram h_run_ns = obs::histogram("search.run_ns");
 /// Shared bookkeeping: budget checks and best-so-far tracking.
 class Tracker {
  public:
-  Tracker(const te::GapOracle& oracle, const SearchOptions& options)
+  Tracker(const heur::GapOracle& oracle, const SearchOptions& options)
       : oracle_(oracle), options_(options) {
-    result_.best_volumes.assign(oracle.num_demands(), 0.0);
+    result_.best_volumes.assign(oracle.num_leader_vars(), 0.0);
     result_.best = oracle.evaluate(result_.best_volumes);  // gap(0) = 0
     ++result_.evaluations;
     c_evaluations.inc();
@@ -35,7 +35,7 @@ class Tracker {
 
   /// Evaluates `volumes`, updates the incumbent, returns the gap.
   double evaluate(const std::vector<double>& volumes) {
-    const te::GapResult r = oracle_.evaluate(volumes);
+    const heur::GapResult r = oracle_.evaluate(volumes);
     ++result_.evaluations;
     c_evaluations.inc();
     if (r.gap() > result_.best.gap()) {
@@ -59,7 +59,7 @@ class Tracker {
   }
 
  private:
-  const te::GapOracle& oracle_;
+  const heur::GapOracle& oracle_;
   const SearchOptions& options_;
   util::Stopwatch watch_;
   SearchResult result_;
@@ -84,7 +84,7 @@ std::vector<double> gaussian_neighbor(const std::vector<double>& d,
 
 }  // namespace
 
-SearchResult hill_climb(const te::GapOracle& oracle,
+SearchResult hill_climb(const heur::GapOracle& oracle,
                         const SearchOptions& options) {
   MO_SPAN_HIST("search.hill_climb", h_run_ns);
   util::Rng rng(options.seed);
@@ -96,11 +96,11 @@ SearchResult hill_climb(const te::GapOracle& oracle,
   // hide it, so say so once up front.
   const bool use_initial =
       options.initial_point.size() ==
-      static_cast<std::size_t>(oracle.num_demands());
+      static_cast<std::size_t>(oracle.num_leader_vars());
   if (!options.initial_point.empty() && !use_initial) {
     MO_LOG(Warn) << "hill_climb: ignoring initial_point of size "
                  << options.initial_point.size() << " (oracle expects "
-                 << oracle.num_demands() << " demands); starting random";
+                 << oracle.num_leader_vars() << " demands); starting random";
   }
 
   bool first_restart = true;
@@ -109,7 +109,7 @@ SearchResult hill_climb(const te::GapOracle& oracle,
     std::vector<double> d =
         first_restart && use_initial
             ? options.initial_point
-            : random_point(oracle.num_demands(), options.demand_ub, rng);
+            : random_point(oracle.num_leader_vars(), options.demand_ub, rng);
     first_restart = false;
     double gap_d = tracker.evaluate(d);
     int failures = 0;
@@ -129,7 +129,7 @@ SearchResult hill_climb(const te::GapOracle& oracle,
   return tracker.finish();
 }
 
-SearchResult simulated_annealing(const te::GapOracle& oracle,
+SearchResult simulated_annealing(const heur::GapOracle& oracle,
                                  const SearchOptions& options) {
   MO_SPAN_HIST("search.simulated_annealing", h_run_ns);
   util::Rng rng(options.seed);
@@ -139,7 +139,7 @@ SearchResult simulated_annealing(const te::GapOracle& oracle,
   while (tracker.budget_left()) {
     tracker.count_restart();
     std::vector<double> d =
-        random_point(oracle.num_demands(), options.demand_ub, rng);
+        random_point(oracle.num_leader_vars(), options.demand_ub, rng);
     double gap_d = tracker.evaluate(d);
     double temperature = options.t0;
     long iter = 0;
@@ -161,25 +161,25 @@ SearchResult simulated_annealing(const te::GapOracle& oracle,
   return tracker.finish();
 }
 
-SearchResult random_search(const te::GapOracle& oracle,
+SearchResult random_search(const heur::GapOracle& oracle,
                            const SearchOptions& options) {
   MO_SPAN_HIST("search.random_search", h_run_ns);
   util::Rng rng(options.seed);
   Tracker tracker(oracle, options);
   while (tracker.budget_left()) {
-    tracker.evaluate(random_point(oracle.num_demands(), options.demand_ub, rng));
+    tracker.evaluate(random_point(oracle.num_leader_vars(), options.demand_ub, rng));
   }
   return tracker.finish();
 }
 
-SearchResult quantized_climb(const te::GapOracle& oracle,
+SearchResult quantized_climb(const heur::GapOracle& oracle,
                              const SearchOptions& options) {
   MO_SPAN_HIST("search.quantized_climb", h_run_ns);
   util::Rng rng(options.seed);
   Tracker tracker(oracle, options);
   std::vector<double> levels = options.levels;
   if (levels.empty()) levels = {0.0, options.demand_ub};
-  const int n = oracle.num_demands();
+  const int n = oracle.num_leader_vars();
 
   while (tracker.budget_left()) {
     tracker.count_restart();
@@ -212,29 +212,6 @@ SearchResult quantized_climb(const te::GapOracle& oracle,
     }
   }
   return tracker.finish();
-}
-
-MaskedGapOracle::MaskedGapOracle(const te::GapOracle& base,
-                                 std::vector<bool> include)
-    : base_(base) {
-  for (std::size_t k = 0; k < include.size(); ++k) {
-    if (include[k]) active_.push_back(static_cast<int>(k));
-  }
-}
-
-std::vector<double> MaskedGapOracle::expand(
-    const std::vector<double>& reduced) const {
-  std::vector<double> full(base_.num_demands(), 0.0);
-  for (std::size_t i = 0; i < active_.size(); ++i) {
-    full[active_[i]] = reduced[i];
-  }
-  return full;
-}
-
-te::GapResult MaskedGapOracle::evaluate(
-    const std::vector<double>& volumes) const {
-  count_evaluation();
-  return base_.evaluate(expand(volumes));
 }
 
 }  // namespace metaopt::search

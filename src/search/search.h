@@ -1,24 +1,27 @@
 // Black-box adversarial-input search (§3.4).
 //
-// These searchers treat gap(d) = OPT(d) - Heuristic(d) as a black box
-// (te::GapOracle) and climb it: hill climbing (Algorithm 1), simulated
+// These searchers treat the adversarial gap as a black box
+// (heur::GapOracle) and climb it: hill climbing (Algorithm 1), simulated
 // annealing, pure random sampling, and a quantized climber exploiting the
 // §5 observation that worst-case gaps concentrate at extremum points.
 // They are the paper's baselines for Fig. 3 — and also handy incumbent
-// seeds for the white-box search.
+// seeds for the white-box search. They are domain-neutral: any
+// heur::GapOracle (TE demand volumes, bin-packing item sizes, ...) works
+// unchanged.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
-#include "te/gap.h"
+#include "heur/gap.h"
 
 namespace metaopt::search {
 
 struct SearchOptions {
   double time_limit_seconds = 10.0;
   long max_evaluations = 1000000000L;
-  /// Search box: every demand volume in [0, demand_ub].
+  /// Search box: every leader variable in [0, demand_ub]. (Named after
+  /// the TE demand box; it is the generic leader-box upper bound.)
   double demand_ub = 1000.0;
   std::uint64_t seed = 1;
 
@@ -46,7 +49,7 @@ struct SearchOptions {
 
 struct SearchResult {
   std::vector<double> best_volumes;
-  te::GapResult best;
+  heur::GapResult best;
   long evaluations = 0;
   long restarts = 0;
   double seconds = 0.0;
@@ -56,43 +59,24 @@ struct SearchResult {
 };
 
 /// Algorithm 1 with random restarts until the budget is exhausted.
-SearchResult hill_climb(const te::GapOracle& oracle,
+SearchResult hill_climb(const heur::GapOracle& oracle,
                         const SearchOptions& options);
 
 /// Simulated annealing with restarts (Kirkpatrick et al.; §3.4 schedule).
-SearchResult simulated_annealing(const te::GapOracle& oracle,
+SearchResult simulated_annealing(const heur::GapOracle& oracle,
                                  const SearchOptions& options);
 
-/// Uniform random sampling of the demand box (sanity baseline).
-SearchResult random_search(const te::GapOracle& oracle,
+/// Uniform random sampling of the leader box (sanity baseline).
+SearchResult random_search(const heur::GapOracle& oracle,
                            const SearchOptions& options);
 
 /// Coordinate hill climbing restricted to the quantized level set
 /// (options.levels; §5's extremum-point speedup).
-SearchResult quantized_climb(const te::GapOracle& oracle,
+SearchResult quantized_climb(const heur::GapOracle& oracle,
                              const SearchOptions& options);
 
-/// Restricts a base oracle to a subset of demand pairs: the searcher
-/// sees only the included dimensions; excluded pairs are fixed at zero.
-/// Keeps black-box baselines comparable to a white-box run that used an
-/// AdversarialOptions::pair_mask.
-class MaskedGapOracle final : public te::GapOracle {
- public:
-  MaskedGapOracle(const te::GapOracle& base, std::vector<bool> include);
-
-  [[nodiscard]] int num_demands() const override {
-    return static_cast<int>(active_.size());
-  }
-  [[nodiscard]] te::GapResult evaluate(
-      const std::vector<double>& volumes) const override;
-
-  /// Expands a reduced vector to the base oracle's full dimension.
-  [[nodiscard]] std::vector<double> expand(
-      const std::vector<double>& reduced) const;
-
- private:
-  const te::GapOracle& base_;
-  std::vector<int> active_;  ///< reduced index -> base index
-};
+/// The index-mask oracle wrapper now lives in heur/gap.h; this alias
+/// keeps long-standing search:: call sites compiling.
+using MaskedGapOracle = heur::MaskedGapOracle;
 
 }  // namespace metaopt::search

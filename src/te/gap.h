@@ -7,59 +7,21 @@
 // against them.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
-#include <memory>
 #include <vector>
 
+#include "heur/gap.h"
 #include "te/demand_pinning.h"
 #include "te/max_flow.h"
 #include "te/pop.h"
 
 namespace metaopt::te {
 
-struct GapResult {
-  lp::SolveStatus status = lp::SolveStatus::Error;
-  double opt = 0.0;
-  double heur = 0.0;
-  /// False when the heuristic has no feasible allocation on this input
-  /// (DP oversubscription, §5).
-  bool heuristic_feasible = false;
-
-  /// OPT - Heuristic; -1 for inputs where the heuristic is infeasible so
-  /// searchers steer away from them (the white-box method excludes them
-  /// by construction).
-  [[nodiscard]] double gap() const {
-    return heuristic_feasible ? opt - heur : -1.0;
-  }
-};
-
-/// Interface the black-box searchers optimize over.
-class GapOracle {
- public:
-  virtual ~GapOracle() = default;
-  /// Dimension of the demand-volume vector.
-  [[nodiscard]] virtual int num_demands() const = 0;
-  [[nodiscard]] virtual GapResult evaluate(
-      const std::vector<double>& volumes) const = 0;
-  /// Number of evaluate() calls so far (latency bookkeeping for Fig. 3).
-  [[nodiscard]] long evaluations() const {
-    return evaluations_.load(std::memory_order_relaxed);
-  }
-
- protected:
-  /// Bumps the evaluation count; call at the top of every evaluate()
-  /// override. evaluate() is const and oracles are shared across
-  /// threads (parallel B&B primal heuristics, concurrent searchers), so
-  /// the bookkeeping must be an atomic — relaxed is enough, it is a
-  /// statistic, not a synchronization point.
-  void count_evaluation() const {
-    evaluations_.fetch_add(1, std::memory_order_relaxed);
-  }
-
- private:
-  mutable std::atomic<long> evaluations_{0};
-};
+// The result/oracle core is domain-neutral now (heur/gap.h); these
+// aliases keep the established te:: spellings working. TE oracles use
+// the default Maximize sense: gap() = opt - heur.
+using GapResult = heur::GapResult;
+using GapOracle = heur::GapOracle;
 
 /// OPT vs Demand Pinning.
 class DpGapOracle final : public GapOracle {
@@ -68,7 +30,7 @@ class DpGapOracle final : public GapOracle {
               DpConfig config)
       : topo_(topo), paths_(paths), config_(config) {}
 
-  [[nodiscard]] int num_demands() const override {
+  [[nodiscard]] int num_leader_vars() const override {
     return paths_.num_pairs();
   }
   [[nodiscard]] GapResult evaluate(
@@ -91,7 +53,7 @@ class PopGapOracle final : public GapOracle {
                PopConfig config, std::vector<std::uint64_t> seeds)
       : topo_(topo), paths_(paths), config_(config), seeds_(std::move(seeds)) {}
 
-  [[nodiscard]] int num_demands() const override {
+  [[nodiscard]] int num_leader_vars() const override {
     return paths_.num_pairs();
   }
   /// heur = mean POP value across the instantiation seeds.

@@ -1,0 +1,165 @@
+// Differential harness for the single-shot FF/FFD encoding: on a corpus
+// of seeded random instances, the bin count of the *embedded* heuristic
+// (the big-M unrolling of binpack/encoding.h, solved as a MIP with the
+// leader sizes pinned) must equal the bin count of the *simulated*
+// heuristic — in both directions, since the placement binaries are fully
+// determined by the sizes:
+//
+//   * maximize bins_used: catches an under-constrained encoding that
+//     lets the MIP open bins first-fit would not,
+//   * the completion path: catches an over-constrained encoding that
+//     rejects genuine first-fit runs.
+//
+// Sizes live on a 1/16 grid so no partial sum can land in the epsilon
+// dead band (C, C + eps) with eps = 1e-4, keeping the encoded leader set
+// and the simulator semantics identical on the corpus.
+//
+// METAOPT_BINPACK_DIFF_COUNT overrides the per-suite instance count
+// (sanitizer CI dials it down; a nightly soak can dial it up).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "binpack/binpack.h"
+#include "binpack/encoding.h"
+#include "lp/model.h"
+#include "mip/branch_and_bound.h"
+#include "util/rng.h"
+
+namespace metaopt::binpack {
+namespace {
+
+int corpus_count(int fallback) {
+  if (const char* env = std::getenv("METAOPT_BINPACK_DIFF_COUNT")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+std::vector<double> random_grid_sizes(util::Rng& rng, int items, int dims) {
+  std::vector<double> sizes(static_cast<std::size_t>(items) * dims);
+  for (double& s : sizes) s = rng.uniform_int(0, 16) / 16.0;
+  return sizes;
+}
+
+/// Sorts item blocks by decreasing key (ties by original position), the
+/// canonical representative the FFD sortedness rows demand.
+std::vector<double> sort_decreasing(const std::vector<double>& sizes,
+                                    int items, int dims) {
+  std::vector<std::vector<double>> blocks(items);
+  for (int i = 0; i < items; ++i) {
+    blocks[i].assign(sizes.begin() + i * dims, sizes.begin() + (i + 1) * dims);
+  }
+  std::stable_sort(blocks.begin(), blocks.end(),
+                   [](const std::vector<double>& a,
+                      const std::vector<double>& b) {
+                     double ka = 0.0, kb = 0.0;
+                     for (double v : a) ka += v;
+                     for (double v : b) kb += v;
+                     return ka > kb;
+                   });
+  std::vector<double> out;
+  out.reserve(sizes.size());
+  for (const std::vector<double>& b : blocks) {
+    out.insert(out.end(), b.begin(), b.end());
+  }
+  return out;
+}
+
+/// Builds the encoding with every leader size pinned to `sizes` and
+/// returns the MIP-maximal bins_used, or nullopt when the MIP finds the
+/// pinned point infeasible (FF would need more than B bins, or the
+/// point is outside the encoded leader set).
+std::optional<int> embedded_bins(const std::vector<double>& sizes,
+                                 const BinPackConfig& config) {
+  lp::Model model;
+  std::vector<lp::Var> svars;
+  for (int k = 0; k < config.items * config.dims; ++k) {
+    svars.push_back(model.add_var("s[" + std::to_string(k) + "]", 0.0,
+                                  config.ub()));
+  }
+  const FfdEncoding enc = build_ffd(model, svars, config);
+  for (int k = 0; k < config.items * config.dims; ++k) {
+    model.add_constraint(svars[k] == sizes[k], "pin[" + std::to_string(k) +
+                                                   "]");
+  }
+  // No KKT emission: the inner volume LP plays no role in what the
+  // heuristic rows admit, and leaving it out keeps the MIP pure-FFD.
+  model.set_objective(lp::ObjSense::Maximize, enc.bins_used);
+  mip::MipOptions options;
+  options.time_limit_seconds = 30.0;
+  const lp::Solution sol = mip::BranchAndBound(options).solve(model);
+  if (sol.status != lp::SolveStatus::Optimal) return std::nullopt;
+  return static_cast<int>(sol.objective + 0.5);
+}
+
+/// One differential sweep: simulator vs completion vs pinned MIP.
+void run_corpus(const BinPackConfig& config, int count, std::uint64_t seed) {
+  util::Rng rng(seed);
+  int feasible_seen = 0;
+  for (int trial = 0; trial < count; ++trial) {
+    std::vector<double> sizes =
+        random_grid_sizes(rng, config.items, config.dims);
+    if (config.decreasing) {
+      sizes = sort_decreasing(sizes, config.items, config.dims);
+    }
+    const std::string ctx = "trial " + std::to_string(trial) + " dims " +
+                            std::to_string(config.dims);
+
+    const FirstFitResult sim = simulate_first_fit(sizes, config);
+    ASSERT_TRUE(sim.feasible) << ctx;  // bins budget = items: never runs out
+    ++feasible_seen;
+
+    // Completion: the constructive witness must report the same count.
+    lp::Model model;
+    std::vector<lp::Var> svars;
+    for (int k = 0; k < config.items * config.dims; ++k) {
+      svars.push_back(
+          model.add_var("s[" + std::to_string(k) + "]", 0.0, config.ub()));
+    }
+    const FfdEncoding enc = build_ffd(model, svars, config);
+    std::vector<double> assign(model.num_vars(), 0.0);
+    const std::optional<int> completed =
+        complete_ffd_assignment(enc, sizes, assign);
+    ASSERT_TRUE(completed.has_value()) << ctx;
+    EXPECT_EQ(*completed, sim.bins_used) << ctx;
+
+    // Pinned MIP: the encoding must *force* the simulated count.
+    const std::optional<int> embedded = embedded_bins(sizes, config);
+    ASSERT_TRUE(embedded.has_value()) << ctx;
+    EXPECT_EQ(*embedded, sim.bins_used) << ctx;
+  }
+  EXPECT_EQ(feasible_seen, count);
+}
+
+TEST(BinPackDiff, Ffd1d) {
+  BinPackConfig config;
+  config.items = 5;
+  config.dims = 1;
+  config.decreasing = true;
+  run_corpus(config, corpus_count(100), 0xFFD1D);
+}
+
+TEST(BinPackDiff, Ffd2d) {
+  BinPackConfig config;
+  config.items = 5;
+  config.dims = 2;
+  config.decreasing = true;
+  run_corpus(config, corpus_count(60), 0xFFD2D);
+}
+
+TEST(BinPackDiff, Ff1dArrivalOrder) {
+  BinPackConfig config;
+  config.items = 5;
+  config.dims = 1;
+  config.decreasing = false;  // no sortedness rows: raw arrival order
+  run_corpus(config, corpus_count(60), 0xFF1D);
+}
+
+}  // namespace
+}  // namespace metaopt::binpack

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "domains/domains.h"
 #include "runner/sweep_runner.h"
 #include "runner/sweep_spec.h"
 #include "runner/thread_pool.h"
@@ -133,6 +134,40 @@ TEST(SweepSpecTest, PopAxisUsesPartitions) {
   EXPECT_EQ(jobs[0].axis_value(), 2.0);
 }
 
+TEST(SweepSpecTest, FfdAxisUsesItemsAndIgnoresTopologyGrid) {
+  // Bin packing has no topology or path set: the items x seed jobs are
+  // emitted exactly once even when the spec sweeps several topologies
+  // and path counts, and dims/bins ride along as scalars.
+  SweepSpec spec;
+  spec.topologies = {"b4", "swan", "abilene"};
+  spec.heuristics = {Heuristic::Ffd};
+  spec.items = {4, 8};
+  spec.paths_per_pair = {1, 2};
+  spec.seeds = {1, 2};
+  spec.dims = 2;
+  spec.bins = 3;
+  const std::vector<JobSpec> jobs = expand_spec(spec);
+  ASSERT_EQ(jobs.size(), 2u * 2u);  // items x seeds, NOT x topologies/paths
+  EXPECT_EQ(jobs[0].items, 4);
+  EXPECT_EQ(jobs[0].dims, 2);
+  EXPECT_EQ(jobs[0].bins, 3);
+  EXPECT_EQ(jobs[0].axis_value(), 4.0);
+  EXPECT_EQ(jobs.back().items, 8);
+  EXPECT_EQ(jobs.back().seed, 2u);
+}
+
+TEST(SweepSpecTest, MixedHeuristicGridKeepsPerFamilyAxes) {
+  SweepSpec spec;
+  spec.heuristics = {Heuristic::Dp, Heuristic::Ffd};
+  spec.thresholds = {25.0, 50.0};
+  spec.items = {6};
+  const std::vector<JobSpec> jobs = expand_spec(spec);
+  ASSERT_EQ(jobs.size(), 3u);  // 2 dp thresholds + 1 ffd items cell
+  EXPECT_EQ(jobs[0].heuristic, Heuristic::Dp);
+  EXPECT_EQ(jobs[2].heuristic, Heuristic::Ffd);
+  EXPECT_EQ(jobs[2].items, 6);
+}
+
 TEST(SweepSpecTest, MaxJobsCapsExpansion) {
   SweepSpec spec;
   spec.thresholds = {1, 2, 3, 4, 5, 6, 7, 8};
@@ -182,12 +217,44 @@ TEST(SweepSpecTest, ParserHandlesListsRangesAndScalars) {
   EXPECT_EQ(spec.base_seed, 17u);
 }
 
+TEST(SweepSpecTest, ParserHandlesBinPackingKeys) {
+  const SweepSpec spec = parse_sweep_spec(
+      {"heuristic=ffd,ff", "items=4..6,12", "dims=2", "bins=5"});
+  ASSERT_EQ(spec.heuristics.size(), 2u);
+  EXPECT_EQ(spec.heuristics[0], Heuristic::Ffd);
+  EXPECT_EQ(spec.heuristics[1], Heuristic::Ff);
+  EXPECT_EQ(spec.items, (std::vector<int>{4, 5, 6, 12}));
+  EXPECT_EQ(spec.dims, 2);
+  EXPECT_EQ(spec.bins, 5);
+}
+
+TEST(SweepSpecTest, UnknownHeuristicNamesTheKnownOnes) {
+  // The CLI surfaces this message verbatim; it must identify the bad
+  // name and list what is accepted.
+  try {
+    parse_sweep_spec({"heuristic=bogus"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown heuristic 'bogus'"), std::string::npos);
+    EXPECT_NE(what.find("ffd"), std::string::npos);
+  }
+}
+
 TEST(SweepSpecTest, ParserRejectsGarbage) {
   EXPECT_THROW(parse_sweep_spec({"frobnicate=1"}), std::invalid_argument);
   EXPECT_THROW(parse_sweep_spec({"threshold"}), std::invalid_argument);
   EXPECT_THROW(parse_sweep_spec({"threshold=abc"}), std::invalid_argument);
   EXPECT_THROW(parse_sweep_spec({"seed=5..1"}), std::invalid_argument);
   EXPECT_THROW(parse_sweep_spec({"heuristic=magic"}), std::invalid_argument);
+  EXPECT_THROW(parse_sweep_spec({"items=0..-1"}), std::invalid_argument);
+  // dims/bins/items validation happens at expansion time.
+  EXPECT_THROW(expand_spec(parse_sweep_spec({"heuristic=ffd", "dims=0"})),
+               std::invalid_argument);
+  EXPECT_THROW(expand_spec(parse_sweep_spec({"heuristic=ffd", "bins=-1"})),
+               std::invalid_argument);
+  EXPECT_THROW(expand_spec(parse_sweep_spec({"heuristic=ffd", "items=0"})),
+               std::invalid_argument);
   EXPECT_THROW(parse_sweep_spec({"base-seed=-1"}), std::invalid_argument);
   EXPECT_THROW(parse_sweep_spec({"base-seed=1.5"}), std::invalid_argument);
   EXPECT_THROW(parse_sweep_spec({"base-seed=99999999999999999999999"}),
@@ -226,8 +293,8 @@ TEST(SweepSpecTest, ExpandRejectsBadSpecs) {
 
 // Deterministic fake job body: a cheap stand-in for the solver whose
 // result is a pure function of the job spec.
-core::AdversarialResult fake_solve(const JobSpec& job) {
-  core::AdversarialResult r;
+heur::GapFindResult fake_solve(const JobSpec& job) {
+  heur::GapFindResult r;
   r.status = lp::SolveStatus::Optimal;
   r.gap = job.threshold + static_cast<double>(job.num_partitions) +
           0.001 * static_cast<double>(job.stream_seed % 1000);
@@ -316,7 +383,7 @@ TEST(SweepRunnerTest, TimeLimitStatusMapsToTimeout) {
   options.log_progress = false;
   const SweepReport report =
       SweepRunner(options).run_jobs(jobs, [](const JobSpec& job) {
-        core::AdversarialResult r = fake_solve(job);
+        heur::GapFindResult r = fake_solve(job);
         if (job.id == 0) {
           // Budget exhausted with no incumbent at all -> timeout.
           r.status = lp::SolveStatus::TimeLimit;
@@ -381,6 +448,7 @@ TEST(SweepRunnerTest, JsonlRecordsHaveSchemaFields) {
 // budget, so the payload must be byte-identical across thread counts
 // (the acceptance criterion of the sweep engine).
 TEST(SweepRunnerTest, RealDpSweepIsDeterministicAcrossThreads) {
+  domains::register_builtin();
   SweepSpec spec;
   spec.topologies = {"b4"};
   spec.thresholds = {50.0, 150.0};
@@ -403,7 +471,57 @@ TEST(SweepRunnerTest, RealDpSweepIsDeterministicAcrossThreads) {
   EXPECT_NE(payloads[0].find("\"status\":\"ok\""), std::string::npos);
 }
 
+// End-to-end over the registry: a tiny FFD sweep goes through
+// execute_job -> heur::make_instance -> binpack::find_ffd_gap and comes
+// back with real items/dims/bins fields in the JSONL payload.
+TEST(SweepRunnerTest, RealFfdSweepRunsThroughRegistry) {
+  domains::register_builtin();
+  SweepSpec spec;
+  spec.heuristics = {Heuristic::Ffd};
+  spec.items = {3};
+  spec.seeds = {1};
+  spec.budget_seconds = 30.0;
+  spec.deterministic = true;
+  SweepOptions options;
+  options.threads = 1;
+  options.log_progress = false;
+  const SweepReport report = SweepRunner(options).run(spec);
+  ASSERT_EQ(report.jobs.size(), 1u);
+  EXPECT_EQ(report.num_ok, 1) << report.jsonl();
+  const std::string json = to_json(report.jobs[0]);
+  EXPECT_NE(json.find("\"heuristic\":\"ffd\""), std::string::npos);
+  EXPECT_NE(json.find("\"items\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"dims\":1"), std::string::npos);
+  // 3 items cannot produce a positive FFD-vs-OPT gap, but the job must
+  // still carry a genuine adversarial input (gap >= 0).
+  EXPECT_GE(report.jobs[0].result.gap, 0.0);
+  EXPECT_EQ(report.jobs[0].result.volumes.size(), 3u);
+}
+
+// An unregistered heuristic name in a hand-built job must surface as a
+// per-job failure with the registry's message, not kill the campaign.
+TEST(SweepRunnerTest, UnknownHeuristicJobFailsWithClearMessage) {
+  domains::register_builtin();
+  SweepSpec spec;
+  spec.heuristics = {Heuristic::Ffd};
+  spec.items = {3};
+  const std::vector<JobSpec> jobs = expand_spec(spec);
+  SweepOptions options;
+  options.threads = 1;
+  options.log_progress = false;
+  const SweepReport report =
+      SweepRunner(options).run_jobs(jobs, [](const JobSpec&) {
+        heur::InstanceConfig config;
+        config.heuristic = "bogus";
+        return heur::make_instance(config)->find_gap({});
+      });
+  ASSERT_EQ(report.jobs.size(), 1u);
+  EXPECT_EQ(report.num_failed, 1);
+  EXPECT_NE(report.jobs[0].error.find("bogus"), std::string::npos);
+}
+
 TEST(SweepRunnerTest, JobMetricsAggregateSpawnedWorkerShards) {
+  domains::register_builtin();
   // A job that fans out onto its own worker threads (mip-threads=2; the
   // sweep pool runs single-threaded so the B&B's oversubscription guard
   // stays quiet) must still attribute the WHOLE tree to its "metrics"

@@ -7,6 +7,7 @@
 #include "net/topologies.h"
 #include "search/search.h"
 #include "te/demand.h"
+#include "te/gap.h"
 
 namespace metaopt::search {
 namespace {
@@ -183,6 +184,58 @@ TEST(MaskedOracle, ProjectsAndExpands) {
   // Pinning 50 on (0,2) with no other demand wastes nothing: gap 0.
   const te::GapResult g = masked.evaluate({50.0});
   EXPECT_NEAR(g.gap(), 0.0, 1e-9);
+}
+
+/// Synthetic non-TE oracle: gap = sum of the leader vector. Exercises
+/// MaskedGapOracle's parametric index-mask semantics without any
+/// topology — the mask is a plain index mask over leader variables, so
+/// it must behave identically for any domain behind heur::GapOracle.
+struct SumOracle final : heur::GapOracle {
+  [[nodiscard]] int num_leader_vars() const override { return 5; }
+  [[nodiscard]] heur::GapResult evaluate(
+      const std::vector<double>& leader) const override {
+    count_evaluation();
+    heur::GapResult g;
+    g.status = lp::SolveStatus::Optimal;
+    g.heuristic_feasible = true;
+    g.heur = 0.0;
+    g.opt = 0.0;
+    for (double v : leader) g.opt += v;
+    return g;
+  }
+};
+
+TEST(MaskedOracle, IndexMaskSemanticsAreDomainNeutral) {
+  const SumOracle base;
+  std::vector<bool> include = {false, true, false, true, false};
+  const heur::MaskedGapOracle masked(base, include);
+  EXPECT_EQ(masked.num_leader_vars(), 2);
+  // Excluded indices are pinned at zero; included ones pass through in
+  // base-index order.
+  const std::vector<double> full = masked.expand({3.0, 4.0});
+  EXPECT_EQ(full, (std::vector<double>{0.0, 3.0, 0.0, 4.0, 0.0}));
+  EXPECT_DOUBLE_EQ(masked.evaluate({3.0, 4.0}).gap(), 7.0);
+  EXPECT_EQ(base.evaluations(), 1);
+}
+
+TEST(MaskedOracle, PopBehaviourUnchangedAfterHoist) {
+  // Regression for the heur:: hoist: a masked POP oracle must evaluate
+  // exactly like the unmasked one on the expanded point (the mask only
+  // renumbers, never rescales). Pre-hoist this lived in te::; the alias
+  // search::MaskedGapOracle must keep compiling too.
+  Fig1Fixture f;
+  te::PopConfig pop;
+  pop.num_partitions = 2;
+  const te::PopGapOracle base(f.topo, f.paths, pop, {1, 2});
+  std::vector<bool> include(6, false);
+  include[0] = include[2] = true;
+  const MaskedGapOracle masked(base, include);  // search:: alias
+  const std::vector<double> reduced = {40.0, 70.0};
+  const te::GapResult via_mask = masked.evaluate(reduced);
+  const te::GapResult direct = base.evaluate(masked.expand(reduced));
+  EXPECT_DOUBLE_EQ(via_mask.gap(), direct.gap());
+  EXPECT_DOUBLE_EQ(via_mask.opt, direct.opt);
+  EXPECT_DOUBLE_EQ(via_mask.heur, direct.heur);
 }
 
 TEST(AllSearchers, GapZeroAtZeroDemandBaseline) {

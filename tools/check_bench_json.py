@@ -4,8 +4,10 @@
 Usage: check_bench_json.py BENCH_fig4a.json [more.json...]
 
 The schema is documented in src/obs/bench_report.h. CI runs this against
-every bench report it produces; a missing key or wrong type fails the
-build, so the schema cannot drift silently.
+every bench report it produces; a missing key, wrong type, or *unknown
+top-level key* fails the build, so the schema cannot drift silently in
+either direction — additions must land here and in bench_report.h
+together.
 """
 
 import json
@@ -22,6 +24,11 @@ REQUIRED = {
     "summaries": dict,
 }
 
+# Every key schema v1 may emit. REQUIRED keys must appear; OPTIONAL ones
+# may; anything else is a schema violation.
+OPTIONAL = frozenset()
+KNOWN = frozenset(REQUIRED) | OPTIONAL
+
 SUMMARY_KEYS = ("count", "mean", "stddev", "min", "max", "sum",
                 "p50", "p90", "p99")
 
@@ -36,6 +43,11 @@ def check(path):
         elif not isinstance(doc[key], kind):
             errors.append(f"key '{key}' has type {type(doc[key]).__name__}, "
                           f"expected {kind}")
+    for key in doc:
+        if key not in KNOWN:
+            errors.append(f"unknown top-level key '{key}' "
+                          "(schema v1 allows: " + ", ".join(sorted(KNOWN)) +
+                          ")")
     if doc.get("schema_version") != 1:
         errors.append(f"schema_version is {doc.get('schema_version')!r}, "
                       "expected 1")

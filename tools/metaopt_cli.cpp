@@ -1,11 +1,15 @@
 // metaopt — command-line front end.
 //
 //   metaopt topo <name|file>                       topology summary
-//   metaopt find dp  [options]                     white-box DP search
-//   metaopt find pop [options]                     white-box POP search
+//   metaopt find <heuristic> [options]             white-box adversarial search
 //   metaopt bound dp|pop [options]                 primal-dual upper bound
-//   metaopt search hill|anneal|random|quant dp|pop black-box baselines
+//   metaopt search hill|anneal|random|quant <heuristic>
+//                                                  black-box baselines
 //   metaopt sweep key=value... [options]           parallel scenario sweep
+//
+// <heuristic> is a registry name (dp, pop, ffd, ff, ...); it can also be
+// passed as --heuristic NAME. dp/pop are traffic engineering; ffd/ff are
+// vector bin packing (first-fit-decreasing / first-fit).
 //
 // Sweep grammar (cartesian grid; comma lists, `lo..hi` integer ranges):
 //   metaopt sweep topology=b4,swan heuristic=dp threshold=25,50,100
@@ -31,7 +35,11 @@
 //   --partitions C     POP partitions              (default 2)
 //   --instances R      POP instantiations          (default 3)
 //   --pairs N          restrict adversarial support to ~N pairs
-//   --demand-ub U      demand box upper bound      (default max capacity)
+//   --demand-ub U      leader box upper bound      (default: max link
+//                      capacity for TE, bin capacity for bin packing)
+//   --items N          bin packing: items          (default 6)
+//   --dims D           bin packing: dimensions     (default 1)
+//   --bins B           bin packing: bin budget     (default: one per item)
 //   --seed S           RNG seed                    (default 1)
 //   --mip-threads N    B&B worker threads (find/bound; default 1;
 //                      sweep jobs take mip-threads= in the spec instead,
@@ -57,6 +65,8 @@
 
 #include "core/adversarial.h"
 #include "core/gap_bound.h"
+#include "domains/domains.h"
+#include "heur/instance.h"
 #include "obs/obs.h"
 #include "runner/sweep_runner.h"
 #include "net/paths.h"
@@ -150,50 +160,65 @@ int cmd_topo(const Args& args) {
   return 0;
 }
 
-int cmd_find(const Args& args) {
-  if (args.positional.size() < 2) {
-    std::fprintf(stderr, "usage: metaopt find dp|pop [options]\n");
-    return 2;
-  }
-  const std::string heuristic = args.positional[1];
-  const net::Topology topo = load_topology(args.get("topology", "b4"));
-  const te::PathSet paths(topo, te::all_pairs(topo),
-                          static_cast<int>(args.get_num("paths", 2)));
-  core::AdversarialGapFinder finder(topo, paths);
-  core::AdversarialOptions options;
-  options.mip.time_limit_seconds = args.get_num("budget", 30.0);
-  options.mip.threads =
-      std::max(1, static_cast<int>(args.get_num("mip-threads", 1)));
-  if (args.flags.count("certify") > 0) {
-    options.mip.certify = true;
-    options.mip.lp.certify = true;
-  }
-  options.seed_search_seconds = options.mip.time_limit_seconds * 0.3;
-  options.demand_ub = args.get_num("demand-ub", 0.0);
-  options.pair_mask =
-      make_mask(paths, static_cast<int>(args.get_num("pairs", 0)));
+/// The heuristic name: `--heuristic NAME` wins, else the positional
+/// argument at `slot`; empty when neither is present.
+std::string heuristic_arg(const Args& args, std::size_t slot) {
+  const std::string flag = args.get("heuristic", "");
+  if (!flag.empty()) return flag;
+  return args.positional.size() > slot ? args.positional[slot] : "";
+}
 
-  core::AdversarialResult result;
-  if (heuristic == "dp") {
-    te::DpConfig dp;
-    dp.threshold = args.get_num("threshold", 50.0);
-    result = finder.find_dp_gap(dp, options);
-  } else if (heuristic == "pop") {
-    te::PopConfig pop;
-    pop.num_partitions = static_cast<int>(args.get_num("partitions", 2));
-    std::vector<std::uint64_t> seeds;
-    const int instances = static_cast<int>(args.get_num("instances", 3));
-    const std::uint64_t base =
-        static_cast<std::uint64_t>(args.get_num("seed", 1));
-    for (int i = 0; i < instances; ++i) seeds.push_back(base + i);
-    result = finder.find_pop_gap(pop, seeds, options);
-  } else {
-    std::fprintf(stderr, "unknown heuristic '%s'\n", heuristic.c_str());
+/// Fills the registry config from the common CLI flags. Domains ignore
+/// the knobs that are not theirs.
+heur::InstanceConfig instance_config(const Args& args,
+                                     const std::string& heuristic) {
+  heur::InstanceConfig config;
+  config.heuristic = heuristic;
+  config.leader_ub = args.get_num("demand-ub", 0.0);
+  config.support = static_cast<int>(args.get_num("pairs", 0));
+  config.seed = static_cast<std::uint64_t>(args.get_num("seed", 1));
+  config.stream_seed = config.seed;
+  config.topology = args.get("topology", "b4");
+  config.paths_per_pair = static_cast<int>(args.get_num("paths", 2));
+  config.threshold = args.get_num("threshold", 50.0);
+  config.partitions = static_cast<int>(args.get_num("partitions", 2));
+  config.pop_instances = static_cast<int>(args.get_num("instances", 3));
+  // Long-standing CLI behaviour: POP instantiation seeds are
+  // seed, seed+1, ... (not the splitmix stream the sweep runner uses).
+  for (int i = 0; i < config.pop_instances; ++i) {
+    config.pop_seeds.push_back(config.seed + static_cast<std::uint64_t>(i));
+  }
+  config.items = static_cast<int>(args.get_num("items", 6));
+  config.dims = static_cast<int>(args.get_num("dims", 1));
+  config.bins = static_cast<int>(args.get_num("bins", 0));
+  return config;
+}
+
+int cmd_find(const Args& args) {
+  const std::string heuristic = heuristic_arg(args, 1);
+  if (heuristic.empty()) {
+    std::fprintf(stderr, "usage: metaopt find <heuristic> [options]\n");
     return 2;
   }
+  std::unique_ptr<heur::HeuristicInstance> instance;
+  try {
+    instance = heur::make_instance(instance_config(args, heuristic));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  heur::FindOptions options;
+  options.budget_seconds = args.get_num("budget", 30.0);
+  options.mip_threads =
+      std::max(1, static_cast<int>(args.get_num("mip-threads", 1)));
+  options.certify = args.flags.count("certify") > 0;
+  options.seed_search_seconds = options.budget_seconds * 0.3;
+
+  const heur::GapFindResult result = instance->find_gap(options);
 
   std::printf("status:      %s\n", lp::to_string(result.status));
-  std::printf("gap:         %.3f (%.2f%% of total capacity)\n", result.gap,
+  std::printf("gap:         %.3f (%.2f%% normalized)\n", result.gap,
               100.0 * result.normalized_gap);
   std::printf("opt / heur:  %.3f / %.3f\n", result.opt_value,
               result.heur_value);
@@ -211,8 +236,9 @@ int cmd_find(const Args& args) {
   int shown = 0;
   for (std::size_t k = 0; k < result.volumes.size() && shown < 15; ++k) {
     if (result.volumes[k] > 1e-6) {
-      const auto [s, t] = paths.pair(static_cast<int>(k));
-      std::printf("  d[%d->%d] = %.1f\n", s, t, result.volumes[k]);
+      std::printf("  %s = %.3f\n",
+                  instance->leader_var_name(static_cast<int>(k)).c_str(),
+                  result.volumes[k]);
       ++shown;
     }
   }
@@ -274,54 +300,44 @@ int cmd_bound(const Args& args) {
 }
 
 int cmd_search(const Args& args) {
-  if (args.positional.size() < 3) {
-    std::fprintf(stderr,
-                 "usage: metaopt search hill|anneal|random|quant dp|pop\n");
+  const std::string heuristic = heuristic_arg(args, 2);
+  if (args.positional.size() < 2 || heuristic.empty()) {
+    std::fprintf(
+        stderr, "usage: metaopt search hill|anneal|random|quant <heuristic>\n");
     return 2;
   }
   const std::string method = args.positional[1];
-  const std::string heuristic = args.positional[2];
-  const net::Topology topo = load_topology(args.get("topology", "b4"));
-  const te::PathSet paths(topo, te::all_pairs(topo),
-                          static_cast<int>(args.get_num("paths", 2)));
-
-  te::DpConfig dp;
-  dp.threshold = args.get_num("threshold", 50.0);
-  te::PopConfig pop;
-  pop.num_partitions = static_cast<int>(args.get_num("partitions", 2));
-  std::vector<std::uint64_t> seeds;
-  for (int i = 0; i < static_cast<int>(args.get_num("instances", 3)); ++i) {
-    seeds.push_back(1 + i);
+  std::unique_ptr<heur::HeuristicInstance> instance;
+  try {
+    instance = heur::make_instance(instance_config(args, heuristic));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
   }
-  const te::DpGapOracle dp_oracle(topo, paths, dp);
-  const te::PopGapOracle pop_oracle(topo, paths, pop, seeds);
-  const te::GapOracle& oracle =
-      heuristic == "dp" ? static_cast<const te::GapOracle&>(dp_oracle)
-                        : static_cast<const te::GapOracle&>(pop_oracle);
+  const std::unique_ptr<heur::GapOracle> oracle = instance->make_oracle();
 
   search::SearchOptions options;
   options.time_limit_seconds = args.get_num("budget", 30.0);
-  options.demand_ub =
-      args.get_num("demand-ub", 0.0) > 0.0 ? args.get_num("demand-ub", 0.0)
-                                           : topo.max_capacity();
+  options.demand_ub = instance->leader_ub();
   options.seed = static_cast<std::uint64_t>(args.get_num("seed", 1));
-  options.levels = {0.0, dp.threshold, options.demand_ub};
+  options.levels = instance->quantize_levels();
 
   search::SearchResult r;
-  if (method == "hill") r = search::hill_climb(oracle, options);
-  else if (method == "anneal") r = search::simulated_annealing(oracle, options);
-  else if (method == "random") r = search::random_search(oracle, options);
-  else if (method == "quant") r = search::quantized_climb(oracle, options);
+  if (method == "hill") r = search::hill_climb(*oracle, options);
+  else if (method == "anneal") r = search::simulated_annealing(*oracle, options);
+  else if (method == "random") r = search::random_search(*oracle, options);
+  else if (method == "quant") r = search::quantized_climb(*oracle, options);
   else {
     std::fprintf(stderr, "unknown method '%s'\n", method.c_str());
     return 2;
   }
-  std::printf("best gap:    %.3f (%.2f%% of total capacity)\n", r.best.gap(),
-              100.0 * r.best.gap() / topo.total_capacity());
+  const double normalizer = instance->gap_normalizer();
+  std::printf("best gap:    %.3f (%.2f%% normalized)\n", r.best.gap(),
+              100.0 * r.best.gap() / normalizer);
   std::printf("evaluations: %ld in %.1fs (%ld restarts)\n", r.evaluations,
               r.seconds, r.restarts);
   maybe_csv(args, "search." + method, heuristic, r.best.gap(),
-            r.best.gap() / topo.total_capacity(), r.seconds);
+            r.best.gap() / normalizer, r.seconds);
   return 0;
 }
 
@@ -367,7 +383,9 @@ int cmd_sweep(const Args& args) {
                    "(%.1fs)\n",
                    done, total, job.spec.id,
                    runner::to_string(job.spec.heuristic),
-                   job.spec.topology.c_str(),
+                   runner::is_binpack(job.spec.heuristic)
+                       ? "-"
+                       : job.spec.topology.c_str(),
                    util::format_double(job.spec.axis_value()).c_str(),
                    runner::to_string(job.status), job.result.gap,
                    job.wall_seconds);
@@ -391,11 +409,15 @@ int cmd_sweep(const Args& args) {
     }
   }
   if (worst_job != nullptr) {
-    std::printf("worst gap: %.3f (%.2f%% of capacity) at %s %s x=%s\n",
+    const bool binpack = runner::is_binpack(worst_job->spec.heuristic);
+    const std::string where =
+        binpack ? "d=" + std::to_string(worst_job->spec.dims)
+                : worst_job->spec.topology;
+    std::printf("worst gap: %.3f (%.2f%% of %s) at %s %s x=%s\n",
                 worst_job->result.gap,
                 100.0 * worst_job->result.normalized_gap,
-                runner::to_string(worst_job->spec.heuristic),
-                worst_job->spec.topology.c_str(),
+                binpack ? "bin budget" : "capacity",
+                runner::to_string(worst_job->spec.heuristic), where.c_str(),
                 util::format_double(worst_job->spec.axis_value()).c_str());
   }
   for (const runner::JobResult& job : report.jobs) {
@@ -442,6 +464,7 @@ void export_obs(const Args& args) {
 
 int main(int argc, char** argv) {
   util::set_log_level(util::LogLevel::Warn);
+  domains::register_builtin();
   const Args args = parse_args(argc, argv);
   if (const auto it = args.flags.find("log"); it != args.flags.end()) {
     util::set_log_level(it->second);
