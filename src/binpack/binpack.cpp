@@ -160,6 +160,15 @@ OptBinResult solve_opt_bins(const std::vector<double>& sizes,
   result.certified = sol.certified;
   if (sol.has_solution()) {
     result.bins_used = static_cast<int>(sol.objective + 0.5);
+    result.assignment.assign(n, -1);
+    for (int i = 0; i < n; ++i) {
+      for (int b = 0; b < static_cast<int>(z[i].size()); ++b) {
+        if (sol.values[z[i][b].id] > 0.5) {
+          result.assignment[i] = b;
+          break;
+        }
+      }
+    }
   }
   h_opt_ns.observe(watch.elapsed_ns());
   return result;
@@ -176,14 +185,19 @@ heur::GapResult BinPackGapOracle::evaluate(
   result.heur = ff.bins_used;
   if (!ff.feasible) {
     // Greedy ran out of bins; no point paying for OPT — searchers treat
-    // gap() = -1 as a hard reject.
+    // gap() = -1 as a hard reject. No solver ran, so there is nothing
+    // certification could dispute.
     result.status = lp::SolveStatus::Optimal;
+    result.certified = true;
     return result;
   }
   const OptBinResult opt = solve_opt_bins(leader, config_, mip_);
   result.status = opt.status;
   if (opt.status != lp::SolveStatus::Optimal) return result;
   result.opt = opt.bins_used;
+  // The greedy side is a pure simulation — only the OPT MIP involves a
+  // solver whose verdict certification can vouch for.
+  result.certified = opt.certified;
   return result;
 }
 

@@ -77,6 +77,9 @@ struct OptBinResult {
   int bins_used = 0;
   /// True when the MIP ran with certification and passed.
   bool certified = false;
+  /// Item -> bin of the optimal packing (size items; empty when no
+  /// solution was found) — the OPT side of a gap report.
+  std::vector<int> assignment;
 };
 
 /// Default B&B budget for direct OPT solves inside oracle loops.

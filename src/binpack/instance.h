@@ -37,6 +37,23 @@ class BinPackInstance final : public heur::HeuristicInstance {
     return find_ffd_gap(config_, options);
   }
 
+  // ---- explain hooks ----
+  // A core element is a whole item: masking it zeroes every one of its
+  // size dimensions, the closest thing to deleting the item that keeps
+  // the instance shape (and the encoding's index space) fixed.
+  [[nodiscard]] int num_core_elements() const override {
+    return config_.items;
+  }
+  [[nodiscard]] std::vector<int> core_element_vars(int e) const override;
+  [[nodiscard]] std::string core_element_name(int e) const override {
+    return "item[" + std::to_string(e) + "]";
+  }
+  [[nodiscard]] std::unique_ptr<heur::GapOracle> make_probe_oracle(
+      const heur::ProbeOptions& options) const override;
+  [[nodiscard]] heur::SolutionBreakdown explain_solution(
+      const std::vector<double>& leader,
+      const heur::ProbeOptions& options) const override;
+
   [[nodiscard]] const BinPackConfig& config() const { return config_; }
 
  private:

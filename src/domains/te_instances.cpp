@@ -1,10 +1,13 @@
 #include "domains/te_instances.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "net/topologies.h"
 #include "net/topology_io.h"
+#include "te/demand_pinning.h"
 #include "te/gap.h"
+#include "te/max_flow.h"
 #include "util/rng.h"
 
 namespace metaopt::domains {
@@ -79,6 +82,80 @@ heur::GapFindResult TeDpInstance::find_gap(
   return finder.find_dp_gap(dp, adversarial_options(options));
 }
 
+namespace {
+
+std::string format3(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::unique_ptr<heur::GapOracle> TeDpInstance::make_probe_oracle(
+    const heur::ProbeOptions& options) const {
+  te::DpConfig dp;
+  dp.threshold = threshold_;
+  dp.demand_ub = demand_ub_;
+  dp.certify = options.certify;
+  return std::make_unique<te::DpGapOracle>(topo_, paths_, dp);
+}
+
+heur::SolutionBreakdown TeDpInstance::explain_solution(
+    const std::vector<double>& leader,
+    const heur::ProbeOptions& options) const {
+  heur::SolutionBreakdown out;
+
+  te::DpConfig dp;
+  dp.threshold = threshold_;
+  dp.demand_ub = demand_ub_;
+  dp.certify = options.certify;
+  const te::DpResult heur =
+      te::solve_demand_pinning(topo_, paths_, leader, dp);
+
+  te::MaxFlowOptions mf;
+  mf.certify = options.certify;
+  const te::MaxFlowResult opt = te::solve_max_flow(topo_, paths_, leader, mf);
+  if (opt.status != lp::SolveStatus::Optimal) return out;
+
+  out.available = true;
+  out.certified = opt.certified && (!heur.feasible || heur.certified);
+
+  const std::vector<double> opt_load =
+      te::edge_loads(topo_, paths_, opt.path_flow);
+  for (int e = 0; e < topo_.num_edges(); ++e) {
+    const net::Edge& edge = topo_.edge(e);
+    const double h = heur.feasible && e < static_cast<int>(
+                                              heur.edge_load.size())
+                         ? heur.edge_load[e]
+                         : 0.0;
+    const double o = opt_load[e];
+    if (h <= 0.0 && o <= 0.0) continue;  // idle link: no story to tell
+    heur::SaturationRow row;
+    row.name = "link[" + std::to_string(edge.src) + "->" +
+               std::to_string(edge.dst) + "]";
+    row.capacity = edge.capacity;
+    row.heur_load = h;
+    row.opt_load = o;
+    out.rows.push_back(row);
+  }
+
+  for (int k = 0; k < paths_.num_pairs(); ++k) {
+    if (leader[k] <= 0.0) continue;  // masked / zero demand
+    heur::ElementNote note;
+    note.element = k;
+    if (k < static_cast<int>(heur.pinned.size()) && heur.pinned[k]) {
+      note.note = "pinned to shortest path (" + format3(leader[k]) +
+                  " <= T=" + format3(threshold_) + ")";
+    } else {
+      note.note = "jointly routed (" + format3(leader[k]) + " > T=" +
+                  format3(threshold_) + ")";
+    }
+    out.notes.push_back(note);
+  }
+  return out;
+}
+
 TePopInstance::TePopInstance(const heur::InstanceConfig& config)
     : TeInstanceBase(config), partitions_(config.partitions) {
   if (!config.pop_seeds.empty()) {
@@ -101,6 +178,14 @@ std::vector<double> TePopInstance::quantize_levels() const {
 std::unique_ptr<heur::GapOracle> TePopInstance::make_oracle() const {
   te::PopConfig pop;
   pop.num_partitions = partitions_;
+  return std::make_unique<te::PopGapOracle>(topo_, paths_, pop, seeds_);
+}
+
+std::unique_ptr<heur::GapOracle> TePopInstance::make_probe_oracle(
+    const heur::ProbeOptions& options) const {
+  te::PopConfig pop;
+  pop.num_partitions = partitions_;
+  pop.certify = options.certify;
   return std::make_unique<te::PopGapOracle>(topo_, paths_, pop, seeds_);
 }
 

@@ -56,6 +56,14 @@ class TeDpInstance final : public TeInstanceBase {
   [[nodiscard]] std::unique_ptr<heur::GapOracle> make_oracle() const override;
   [[nodiscard]] heur::GapFindResult find_gap(
       const heur::FindOptions& options) const override;
+  [[nodiscard]] std::unique_ptr<heur::GapOracle> make_probe_oracle(
+      const heur::ProbeOptions& options) const override;
+  /// Link-utilization rows (heuristic allocation vs OPT) plus a note per
+  /// nonzero demand: pinned (and onto which shortest path) or jointly
+  /// routed.
+  [[nodiscard]] heur::SolutionBreakdown explain_solution(
+      const std::vector<double>& leader,
+      const heur::ProbeOptions& options) const override;
 
  private:
   double threshold_;
@@ -71,6 +79,8 @@ class TePopInstance final : public TeInstanceBase {
   [[nodiscard]] std::unique_ptr<heur::GapOracle> make_oracle() const override;
   [[nodiscard]] heur::GapFindResult find_gap(
       const heur::FindOptions& options) const override;
+  [[nodiscard]] std::unique_ptr<heur::GapOracle> make_probe_oracle(
+      const heur::ProbeOptions& options) const override;
 
   [[nodiscard]] const std::vector<std::uint64_t>& seeds() const {
     return seeds_;

@@ -1,0 +1,71 @@
+#include "explain/cluster.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace metaopt::explain {
+
+std::string region_axis(const runner::JobRecord& record) {
+  if (record.heuristic == "ffd" || record.heuristic == "ff") {
+    // Sweep grids tag bin-packing jobs with the first topology value of
+    // the grid, which is meaningless for them — the shape is the axis.
+    return "items=" + std::to_string(record.items) +
+           ",dims=" + std::to_string(record.dims) +
+           ",bins=" + std::to_string(record.bins);
+  }
+  return record.topology;
+}
+
+std::vector<Region> cluster_regions(
+    const std::vector<runner::JobRecord>& records, double min_norm_gap) {
+  // std::map keys give the (heuristic, axis) ordering for free.
+  std::map<std::pair<std::string, std::string>, Region> cells;
+  for (const runner::JobRecord& record : records) {
+    const std::pair<std::string, std::string> key{record.heuristic,
+                                                  region_axis(record)};
+    Region& region = cells[key];
+    if (region.total_jobs == 0) {
+      region.heuristic = key.first;
+      region.axis = key.second;
+    }
+    ++region.total_jobs;
+    if (!record.ok() || record.norm_gap < min_norm_gap ||
+        record.volumes.empty()) {
+      continue;
+    }
+    ++region.jobs;
+    region.mean_norm_gap += record.norm_gap;  // sum for now; divided below
+    region.max_norm_gap = std::max(region.max_norm_gap, record.norm_gap);
+    const bool better =
+        region.rep_job < 0 || record.norm_gap > region.rep.norm_gap ||
+        (record.norm_gap == region.rep.norm_gap && record.job < region.rep_job);
+    if (better) {
+      region.rep_job = record.job;
+      region.rep = record;
+    }
+  }
+
+  std::vector<Region> regions;
+  for (auto& [key, region] : cells) {
+    if (region.jobs == 0) continue;  // no gap-inducing job: not a region
+    region.mean_norm_gap /= region.jobs;
+    regions.push_back(std::move(region));
+  }
+  return regions;
+}
+
+int best_region(const std::vector<Region>& regions) {
+  int best = -1;
+  for (int i = 0; i < static_cast<int>(regions.size()); ++i) {
+    if (best < 0 ||
+        regions[i].rep.norm_gap > regions[best].rep.norm_gap ||
+        (regions[i].rep.norm_gap == regions[best].rep.norm_gap &&
+         regions[i].rep_job < regions[best].rep_job)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace metaopt::explain

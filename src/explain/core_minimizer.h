@@ -1,0 +1,105 @@
+// Minimal adversarial cores: shrink a gap witness to the smallest
+// element subset whose sub-instance still exhibits the gap.
+//
+// The interface mirrors z3's spacer unsat_core_plugin: one abstract
+// minimizer, pluggable strategies behind it, all sharing the probe
+// machinery and a final verification pass. A strategy's shrink() only
+// has to make progress; minimize() then runs a single-deletion fixpoint
+// that *guarantees* the returned core is 1-minimal — removing any one
+// element drops the sub-instance gap below the threshold — regardless
+// of what the strategy did. (For greedy the fixpoint re-asks exactly
+// the probes of its last pass, so the memo answers them for free.)
+//
+// Strategies:
+//   * greedy — shuffled single-deletion passes to a fixpoint. Probe
+//     count O(passes * n); the shuffle order comes off a derive_seed
+//     stream so runs are byte-reproducible per seed.
+//   * ddmin — Zeller & Hildebrandt delta debugging: try chunks, then
+//     chunk complements, doubling granularity when stuck. Often far
+//     fewer probes than greedy when the core is a small fraction of the
+//     witness support.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "explain/probe.h"
+
+namespace metaopt::explain {
+
+struct MinimizeOptions {
+  /// Absolute gap the core's sub-instance must retain (>= compares).
+  double min_gap = 0.0;
+  /// Seed of the shuffle streams (util::derive_seed(seed, pass)); the
+  /// same seed reproduces the same core byte-for-byte.
+  std::uint64_t seed = 1;
+};
+
+struct CoreResult {
+  /// The minimal adversarial core, ascending element indices.
+  std::vector<int> core;
+  /// Gap of the core's sub-instance (>= MinimizeOptions::min_gap).
+  double gap = 0.0;
+  /// Every probe this minimization performed was certified.
+  bool certified = false;
+  /// Oracle evaluations spent (cache hits excluded).
+  long probes = 0;
+  /// Verified 1-minimal: removing any single element drops the gap
+  /// below min_gap. False only when the starting witness itself missed
+  /// the threshold (then `core` echoes the full support).
+  bool minimal = false;
+};
+
+class CoreMinimizer {
+ public:
+  virtual ~CoreMinimizer() = default;
+
+  /// Strategy key ("greedy", "ddmin") — CLI --strategy and reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Shrinks ctx.support() to a verified 1-minimal core. Template
+  /// method: strategy shrink(), then the shared verification fixpoint.
+  [[nodiscard]] CoreResult minimize(ProbeContext& ctx,
+                                    const MinimizeOptions& options) const;
+
+ protected:
+  /// Strategy hook: returns a subset of `keep` whose sub-instance gap
+  /// is still >= options.min_gap. Need not be minimal.
+  [[nodiscard]] virtual std::vector<int> shrink(
+      ProbeContext& ctx, std::vector<int> keep,
+      const MinimizeOptions& options) const = 0;
+};
+
+/// Shuffled single-deletion passes to a fixpoint.
+class GreedyDeletionMinimizer final : public CoreMinimizer {
+ public:
+  [[nodiscard]] std::string name() const override { return "greedy"; }
+
+ protected:
+  [[nodiscard]] std::vector<int> shrink(
+      ProbeContext& ctx, std::vector<int> keep,
+      const MinimizeOptions& options) const override;
+};
+
+/// Classic ddmin over element chunks.
+class DdminMinimizer final : public CoreMinimizer {
+ public:
+  [[nodiscard]] std::string name() const override { return "ddmin"; }
+
+ protected:
+  [[nodiscard]] std::vector<int> shrink(
+      ProbeContext& ctx, std::vector<int> keep,
+      const MinimizeOptions& options) const override;
+};
+
+/// Builds a minimizer by strategy key. Throws std::invalid_argument on
+/// an unknown key, naming the registered ones.
+[[nodiscard]] std::unique_ptr<CoreMinimizer> make_minimizer(
+    const std::string& strategy);
+
+/// Registered strategy keys, sorted (--help listings, error messages).
+[[nodiscard]] std::vector<std::string> minimizer_names();
+
+}  // namespace metaopt::explain

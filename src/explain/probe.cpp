@@ -1,0 +1,80 @@
+#include "explain/probe.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace metaopt::explain {
+
+namespace {
+
+const obs::Counter c_probes = obs::counter("explain.probes");
+const obs::Counter c_cache_hits = obs::counter("explain.probe_cache_hits");
+const obs::Histogram h_probe_ns = obs::histogram("explain.probe_ns");
+
+}  // namespace
+
+ProbeContext::ProbeContext(const heur::HeuristicInstance& instance,
+                           std::vector<double> witness,
+                           const heur::ProbeOptions& options)
+    : instance_(instance),
+      witness_(std::move(witness)),
+      options_(options),
+      oracle_(instance.make_probe_oracle(options)) {
+  const std::size_t want =
+      static_cast<std::size_t>(instance_.num_leader_vars());
+  if (witness_.size() != want) {
+    throw std::invalid_argument(
+        "explain: witness has " + std::to_string(witness_.size()) +
+        " entries, instance expects " + std::to_string(want));
+  }
+  for (int e = 0; e < instance_.num_core_elements(); ++e) {
+    for (const int v : instance_.core_element_vars(e)) {
+      if (witness_[v] > 0.0) {
+        support_.push_back(e);
+        break;
+      }
+    }
+  }
+}
+
+std::vector<double> ProbeContext::masked_vector(
+    const std::vector<int>& keep) const {
+  std::vector<double> masked(witness_.size(), 0.0);
+  for (const int e : keep) {
+    for (const int v : instance_.core_element_vars(e)) {
+      masked[v] = witness_[v];
+    }
+  }
+  return masked;
+}
+
+ProbeOutcome ProbeContext::probe(const std::vector<int>& keep) {
+  std::vector<int> key = keep;
+  std::sort(key.begin(), key.end());
+  key.erase(std::unique(key.begin(), key.end()), key.end());
+
+  if (const auto it = memo_.find(key); it != memo_.end()) {
+    ++cache_hits_;
+    c_cache_hits.inc();
+    return it->second;
+  }
+
+  ProbeOutcome outcome;
+  {
+    MO_SPAN_HIST("explain.probe", h_probe_ns);
+    outcome.result = oracle_->evaluate(masked_vector(key));
+  }
+  outcome.gap = outcome.result.gap();
+  outcome.certified = outcome.result.certified;
+  ++probes_;
+  c_probes.inc();
+  all_certified_ = all_certified_ && outcome.certified;
+  probe_gaps_.push_back(outcome.gap);
+  memo_.emplace(std::move(key), outcome);
+  return outcome;
+}
+
+}  // namespace metaopt::explain

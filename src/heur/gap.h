@@ -29,6 +29,11 @@ struct GapResult {
   /// means the heuristic under-performs OPT and gap = opt - heur;
   /// Minimize (bin packing: bins used) flips it to heur - opt.
   lp::ObjSense sense = lp::ObjSense::Maximize;
+  /// True when every exact solver run backing this evaluation (the OPT
+  /// solve and any LPs inside the heuristic) ran with independent
+  /// certification on and passed. Purely procedural heuristics (greedy
+  /// first-fit) have no solver on their side and do not weaken it.
+  bool certified = false;
 
   /// The adversarial objective (always "how much worse than OPT");
   /// -1 for inputs where the heuristic is infeasible so searchers steer

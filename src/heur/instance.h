@@ -110,6 +110,45 @@ struct InstanceConfig {
   int bins = 0;   ///< bin budget; 0 = one bin per item
 };
 
+/// Options for explain-probe oracles (make_probe_oracle): exact
+/// heuristic-vs-OPT re-solves of masked sub-instances, certified by
+/// default — every probe's verdict is independently re-verified.
+struct ProbeOptions {
+  /// Certify every solve inside a probe (check::certify_lp/_mip).
+  bool certify = true;
+  /// Budget per embedded exact OPT solve (bin packing's assignment MIP;
+  /// TE probes are single LPs and ignore it).
+  double opt_budget_seconds = 10.0;
+};
+
+/// One constraint-side row of a solution breakdown: how loaded a
+/// capacity-like constraint is under the heuristic vs under OPT (link
+/// utilization for TE, per-dimension bin load for bin packing).
+struct SaturationRow {
+  std::string name;
+  double capacity = 0.0;
+  double heur_load = 0.0;
+  double opt_load = 0.0;
+};
+
+/// A per-core-element diagnosis line ("pinned at 40 <= T=50",
+/// "ffd bin 2, opt bin 0").
+struct ElementNote {
+  int element = -1;
+  std::string note;
+};
+
+/// Domain-side explanation of one leader vector: which constraints
+/// saturate under the heuristic vs OPT, and what happened to each
+/// element. `available` is false for domains that do not implement the
+/// breakdown (the report then omits the section).
+struct SolutionBreakdown {
+  bool available = false;
+  bool certified = false;  ///< solves behind the breakdown were certified
+  std::vector<SaturationRow> rows;
+  std::vector<ElementNote> notes;
+};
+
 class HeuristicInstance {
  public:
   virtual ~HeuristicInstance() = default;
@@ -134,6 +173,45 @@ class HeuristicInstance {
   /// The single-shot white-box adversarial search (Eq. 1).
   [[nodiscard]] virtual GapFindResult find_gap(
       const FindOptions& options) const = 0;
+
+  // ---- explain hooks (sub-instance masking + probes) ----
+  //
+  // The explain subsystem shrinks a witness to a minimal adversarial
+  // core by probing *sub-instances*: leader vectors with the masked
+  // elements zeroed, re-solved exactly. Masking is phrased over "core
+  // elements" — the unit an operator would delete from an input — which
+  // is a demand pair for TE but a whole item (all of its size
+  // dimensions) for bin packing.
+
+  /// Number of maskable elements. Defaults to one element per leader
+  /// variable.
+  [[nodiscard]] virtual int num_core_elements() const {
+    return num_leader_vars();
+  }
+  /// Leader-variable indices belonging to element `e`.
+  [[nodiscard]] virtual std::vector<int> core_element_vars(int e) const {
+    return {e};
+  }
+  /// Human-readable name of element `e` (report/CLI output).
+  [[nodiscard]] virtual std::string core_element_name(int e) const {
+    return leader_var_name(e);
+  }
+  /// Oracle for explain probes: identical ground truth to make_oracle()
+  /// but with certification (and probe budgets) threaded through. The
+  /// base fallback ignores the options; domains override to honor them.
+  [[nodiscard]] virtual std::unique_ptr<GapOracle> make_probe_oracle(
+      const ProbeOptions& options) const {
+    (void)options;
+    return make_oracle();
+  }
+  /// Domain-side breakdown of one leader vector (saturating constraints,
+  /// per-element placement notes). Default: not available.
+  [[nodiscard]] virtual SolutionBreakdown explain_solution(
+      const std::vector<double>& leader, const ProbeOptions& options) const {
+    (void)leader;
+    (void)options;
+    return {};
+  }
 };
 
 // ---- registry ----

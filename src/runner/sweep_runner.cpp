@@ -97,6 +97,18 @@ std::string to_json(const JobResult& r) {
   field("sos", std::to_string(a.stats.num_complementarities));
   field("binaries", std::to_string(a.stats.num_binaries));
   field("nonzeros", std::to_string(a.stats.num_nonzeros));
+  // The adversarial witness itself, so campaigns are explainable after
+  // the fact (`metaopt explain --jsonl ...`) without re-running the
+  // finder. Deterministic content: part of the byte-stable prefix.
+  {
+    std::string vols = "[";
+    for (std::size_t k = 0; k < a.volumes.size(); ++k) {
+      if (k > 0) vols += ",";
+      vols += json_number(a.volumes[k]);
+    }
+    vols += "]";
+    field("volumes", vols);
+  }
   // Wall-time fields stay last so campaign diffs can strip them by
   // truncating at "solve_seconds". The optional metrics object rides in
   // that same strip-suffix zone (and is omitted when recording is off),

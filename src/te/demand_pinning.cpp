@@ -20,13 +20,17 @@ DpResult solve_demand_pinning(const net::Topology& topo, const PathSet& paths,
     residual[e] = topo.edge(e).capacity;
   }
   std::vector<bool> include(paths.num_pairs(), false);
+  result.pinned.assign(paths.num_pairs(), false);
+  std::vector<double> pinned_load(topo.num_edges(), 0.0);
   for (int k = 0; k < paths.num_pairs(); ++k) {
     if (paths.paths(k).empty()) continue;
     if (volumes[k] <= config.threshold) {
+      result.pinned[k] = true;
       result.pinned_flow += volumes[k];
       ++result.num_pinned;
       for (net::EdgeId e : paths.shortest(k).edges) {
         residual[e] -= volumes[k];
+        pinned_load[e] += volumes[k];
       }
     } else {
       include[k] = true;
@@ -47,6 +51,7 @@ DpResult solve_demand_pinning(const net::Topology& topo, const PathSet& paths,
   MaxFlowOptions options;
   options.include = &include;
   options.capacity_override = &residual;
+  options.certify = config.certify;
   const MaxFlowResult residual_flow =
       solve_max_flow(topo, paths, volumes, options);
   if (residual_flow.status != lp::SolveStatus::Optimal) {
@@ -55,7 +60,12 @@ DpResult solve_demand_pinning(const net::Topology& topo, const PathSet& paths,
   }
   result.status = lp::SolveStatus::Optimal;
   result.feasible = true;
+  result.certified = residual_flow.certified;
   result.total_flow = result.pinned_flow + residual_flow.total_flow;
+  result.edge_load = edge_loads(topo, paths, residual_flow.path_flow);
+  for (net::EdgeId e = 0; e < topo.num_edges(); ++e) {
+    result.edge_load[e] += pinned_load[e];
+  }
   return result;
 }
 

@@ -40,6 +40,10 @@ struct DpConfig {
   /// DP's pinning rows only admit a looser analytic bound than plain
   /// max-flow, so the default carries extra margin.
   double dual_bound_scale = 2.0;
+  /// Certify the residual LP inside the procedural solver and record
+  /// the verdict in DpResult::certified (the encoding builders ignore
+  /// this). Defaults to the solver-wide policy; explain probes force it.
+  bool certify = lp::kCertifyByDefault;
 };
 
 /// Result of the procedural heuristic.
@@ -51,6 +55,15 @@ struct DpResult {
   double total_flow = 0.0;   ///< pinned + residual carried flow
   double pinned_flow = 0.0;  ///< flow pre-allocated on shortest paths
   int num_pinned = 0;
+  /// pinned[k]: demand k was at or below the threshold (size num_pairs,
+  /// filled even on infeasible inputs — it names the culprits).
+  std::vector<bool> pinned;
+  /// Per-edge load of the heuristic's allocation, pinned + residual
+  /// (size num_edges; empty when infeasible) — the saturation side of a
+  /// gap report.
+  std::vector<double> edge_load;
+  /// True when the residual LP ran with certification and passed.
+  bool certified = false;
 };
 
 /// Runs Demand Pinning procedurally on concrete volumes.

@@ -7,7 +7,9 @@ namespace metaopt::te {
 GapResult DpGapOracle::evaluate(const std::vector<double>& volumes) const {
   count_evaluation();
   GapResult result;
-  const MaxFlowResult opt = solve_max_flow(topo_, paths_, volumes);
+  MaxFlowOptions mf;
+  mf.certify = config_.certify;
+  const MaxFlowResult opt = solve_max_flow(topo_, paths_, volumes, mf);
   if (opt.status != lp::SolveStatus::Optimal) {
     result.status = opt.status;
     return result;
@@ -17,19 +19,25 @@ GapResult DpGapOracle::evaluate(const std::vector<double>& volumes) const {
   result.status = dp.status;
   result.heuristic_feasible = dp.feasible;
   result.heur = dp.total_flow;
+  // An infeasible heuristic side involves no residual LP; the OPT
+  // verdict alone backs the evaluation then.
+  result.certified = opt.certified && (!dp.feasible || dp.certified);
   return result;
 }
 
 GapResult PopGapOracle::evaluate(const std::vector<double>& volumes) const {
   count_evaluation();
   GapResult result;
-  const MaxFlowResult opt = solve_max_flow(topo_, paths_, volumes);
+  MaxFlowOptions mf;
+  mf.certify = config_.certify;
+  const MaxFlowResult opt = solve_max_flow(topo_, paths_, volumes, mf);
   if (opt.status != lp::SolveStatus::Optimal) {
     result.status = opt.status;
     return result;
   }
   result.opt = opt.total_flow;
-  const std::vector<double> values = per_instance_heur(volumes);
+  bool heur_certified = true;
+  const std::vector<double> values = per_instance_heur(volumes, &heur_certified);
   if (values.size() != seeds_.size()) {
     result.status = lp::SolveStatus::Error;
     return result;
@@ -37,11 +45,12 @@ GapResult PopGapOracle::evaluate(const std::vector<double>& volumes) const {
   result.heur = util::mean(values);
   result.heuristic_feasible = true;  // POP is feasible for any demand
   result.status = lp::SolveStatus::Optimal;
+  result.certified = opt.certified && heur_certified;
   return result;
 }
 
 std::vector<double> PopGapOracle::per_instance_heur(
-    const std::vector<double>& volumes) const {
+    const std::vector<double>& volumes, bool* certified) const {
   std::vector<double> values;
   values.reserve(seeds_.size());
   for (const std::uint64_t seed : seeds_) {
@@ -49,6 +58,7 @@ std::vector<double> PopGapOracle::per_instance_heur(
     config.seed = seed;
     const PopResult pop = solve_pop(topo_, paths_, volumes, config);
     if (pop.status != lp::SolveStatus::Optimal) return {};
+    if (certified != nullptr) *certified = *certified && pop.certified;
     values.push_back(pop.total_flow);
   }
   return values;

@@ -61,8 +61,10 @@ class PopGapOracle final : public GapOracle {
       const std::vector<double>& volumes) const override;
 
   /// Per-instantiation heuristic values (Fig. 5a generalization test).
+  /// When `certified` is given it is ANDed with every instantiation's
+  /// certification verdict.
   [[nodiscard]] std::vector<double> per_instance_heur(
-      const std::vector<double>& volumes) const;
+      const std::vector<double>& volumes, bool* certified = nullptr) const;
 
   [[nodiscard]] const PopConfig& config() const { return config_; }
   [[nodiscard]] const std::vector<std::uint64_t>& seeds() const {

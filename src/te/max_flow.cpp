@@ -85,9 +85,12 @@ MaxFlowResult solve_max_flow(const net::Topology& topo, const PathSet& paths,
   kkt::materialize(model, enc.inner);
 
   MaxFlowResult result;
-  const lp::Solution sol = lp::SimplexSolver().solve(model);
+  lp::SimplexOptions simplex;
+  simplex.certify = options.certify;
+  const lp::Solution sol = lp::SimplexSolver(simplex).solve(model);
   result.status = sol.status;
   if (sol.status != lp::SolveStatus::Optimal) return result;
+  result.certified = sol.certified;
   result.total_flow = sol.objective;
   result.path_flow.resize(enc.path_flow.size());
   for (std::size_t k = 0; k < enc.path_flow.size(); ++k) {
@@ -96,6 +99,18 @@ MaxFlowResult solve_max_flow(const net::Topology& topo, const PathSet& paths,
     }
   }
   return result;
+}
+
+std::vector<double> edge_loads(const net::Topology& topo, const PathSet& paths,
+                               const std::vector<std::vector<double>>& flow) {
+  std::vector<double> load(topo.num_edges(), 0.0);
+  for (int k = 0; k < static_cast<int>(flow.size()); ++k) {
+    const auto& plist = paths.paths(k);
+    for (std::size_t p = 0; p < flow[k].size() && p < plist.size(); ++p) {
+      for (net::EdgeId e : plist[p].edges) load[e] += flow[k][p];
+    }
+  }
+  return load;
 }
 
 }  // namespace metaopt::te

@@ -40,6 +40,10 @@ struct MaxFlowOptions {
   /// Multiplier applied to the analytic dual bounds; <= 0 disables dual
   /// bounds entirely (sound but slow).
   double dual_bound_scale = 1.0;
+  /// Certify the direct solve (check::certify_lp) and record the verdict
+  /// in MaxFlowResult::certified. Defaults to the solver-wide policy
+  /// (on in Debug, opt-in in Release); explain probes force it on.
+  bool certify = lp::kCertifyByDefault;
 };
 
 /// The flow variables and inner problem of one OptMaxFlow instance.
@@ -71,7 +75,13 @@ struct MaxFlowResult {
   double total_flow = 0.0;
   /// flow[k][p] aligned with the path set (empty for masked pairs).
   std::vector<std::vector<double>> path_flow;
+  /// True when the solve ran with certification and passed.
+  bool certified = false;
 };
+
+/// Per-edge load of a path-flow solution (size topo.num_edges()).
+std::vector<double> edge_loads(const net::Topology& topo, const PathSet& paths,
+                               const std::vector<std::vector<double>>& flow);
 
 /// Solves OptMaxFlow directly for concrete demand volumes.
 MaxFlowResult solve_max_flow(const net::Topology& topo, const PathSet& paths,

@@ -27,6 +27,7 @@ PopResult solve_pop(const net::Topology& topo, const PathSet& paths,
 
   PopResult result;
   result.per_partition_flow.resize(config.num_partitions, 0.0);
+  result.certified = true;
   for (int part = 0; part < config.num_partitions; ++part) {
     std::vector<bool> include(paths.num_pairs(), false);
     for (int k = 0; k < paths.num_pairs(); ++k) {
@@ -35,12 +36,15 @@ PopResult solve_pop(const net::Topology& topo, const PathSet& paths,
     MaxFlowOptions options;
     options.include = &include;
     options.capacity_scale = 1.0 / config.num_partitions;
+    options.certify = config.certify;
     const MaxFlowResult part_result =
         solve_max_flow(topo, paths, volumes, options);
     if (part_result.status != lp::SolveStatus::Optimal) {
       result.status = part_result.status;
+      result.certified = false;
       return result;
     }
+    result.certified = result.certified && part_result.certified;
     result.per_partition_flow[part] = part_result.total_flow;
     result.total_flow += part_result.total_flow;
   }

@@ -28,6 +28,9 @@ struct PopConfig {
   std::uint64_t seed = 1;
   /// Multiplier on the analytic KKT dual bounds (<= 0 disables).
   double dual_bound_scale = 1.0;
+  /// Certify every per-partition LP in the procedural solver and record
+  /// the verdict in PopResult::certified (encoding builders ignore it).
+  bool certify = lp::kCertifyByDefault;
 };
 
 /// Assigns each of `num_demands` indices to one of `c` partitions
@@ -40,6 +43,8 @@ struct PopResult {
   lp::SolveStatus status = lp::SolveStatus::Error;
   double total_flow = 0.0;
   std::vector<double> per_partition_flow;
+  /// True when every per-partition LP ran with certification and passed.
+  bool certified = false;
 };
 
 /// Runs POP procedurally: solves one LP per partition and sums.

@@ -6,6 +6,8 @@
 //   metaopt search hill|anneal|random|quant <heuristic>
 //                                                  black-box baselines
 //   metaopt sweep key=value... [options]           parallel scenario sweep
+//   metaopt explain <heuristic> [options]          minimal adversarial core
+//   metaopt help | --help                          subcommand overview
 //
 // <heuristic> is a registry name (dp, pop, ffd, ff, ...); it can also be
 // passed as --heuristic NAME. dp/pop are traffic engineering; ffd/ff are
@@ -26,6 +28,22 @@
 //   --quiet            suppress per-job progress lines
 // Sweep exit codes: 0 = ok (≥1 job finished with an incumbent), 1 = a
 // job failed, 3 = no failures but every job timed out empty-handed.
+//
+// Explain shrinks a gap witness to a minimal adversarial core: the
+// smallest element subset (demand pairs / items) whose sub-instance
+// still exhibits the gap, every probe an exact certified re-solve.
+// Witness source: --jsonl FILE (a finished sweep campaign; --job N
+// picks a record, default = the representative of the worst region) or
+// a fresh `find` run with --budget. Explain-only options:
+//   --jsonl FILE       read witnesses from a sweep campaign file
+//   --job N            explain this campaign job id
+//   --strategy S       core minimizer: greedy (default) | ddmin
+//   --min-gap P        core must retain >= P% normalized gap
+//                      (default: 95% of the witness's own gap)
+//   --probe-budget S   seconds per embedded OPT solve    (default 10)
+//   --bench-out FILE   also write a schema-v1 BENCH json report
+// Explain exit codes: 0 = core found, 2 = usage, 3 = nothing to explain
+// (no gap-inducing witness / gap below threshold), 1 = error.
 //
 // Common options:
 //   --topology <b4|abilene|swan|fig1|file.topo>   (default b4)
@@ -66,8 +84,12 @@
 #include "core/adversarial.h"
 #include "core/gap_bound.h"
 #include "domains/domains.h"
+#include "explain/cluster.h"
+#include "explain/core_minimizer.h"
+#include "explain/explain.h"
 #include "heur/instance.h"
 #include "obs/obs.h"
+#include "runner/jsonl_io.h"
 #include "runner/sweep_runner.h"
 #include "net/paths.h"
 #include "net/topologies.h"
@@ -441,6 +463,158 @@ int cmd_sweep(const Args& args) {
   return report.num_ok > 0 ? 0 : 3;
 }
 
+int cmd_explain(const Args& args) {
+  const std::string jsonl = args.get("jsonl", "");
+  std::string heuristic = heuristic_arg(args, 1);
+  if (jsonl.empty() && heuristic.empty()) {
+    std::fprintf(stderr,
+                 "usage: metaopt explain <heuristic> [options], or "
+                 "metaopt explain --jsonl FILE [--job N]\n");
+    return 2;
+  }
+
+  // --bench-out implies obs so probe counters land in the report.
+  const std::string bench_out = args.get("bench-out", "");
+  if (!bench_out.empty()) obs::set_enabled(true);
+  const obs::MetricsSnapshot obs_baseline = obs::snapshot();
+
+  explain::ExplainOptions options;
+  options.strategy = args.get("strategy", "greedy");
+  options.min_gap_percent = args.get_num("min-gap", -1.0);
+  options.seed = static_cast<std::uint64_t>(args.get_num("seed", 1));
+  options.probe.opt_budget_seconds = args.get_num("probe-budget", 10.0);
+
+  std::unique_ptr<heur::HeuristicInstance> instance;
+  std::vector<double> witness;
+  std::vector<explain::Region> regions;
+
+  if (!jsonl.empty()) {
+    // Witness from a finished campaign: cluster it into adversarial
+    // regions, then explain --job N or the worst region's representative.
+    std::vector<runner::JobRecord> records = runner::read_sweep_jsonl(jsonl);
+    if (!heuristic.empty()) {
+      std::erase_if(records, [&](const runner::JobRecord& r) {
+        return r.heuristic != heuristic;
+      });
+    }
+    regions = explain::cluster_regions(records, /*min_norm_gap=*/1e-9);
+    const runner::JobRecord* record = nullptr;
+    if (args.flags.count("job") > 0) {
+      const int want = static_cast<int>(args.get_num("job", -1));
+      for (const runner::JobRecord& r : records) {
+        if (r.job == want) record = &r;
+      }
+      if (record == nullptr) {
+        std::fprintf(stderr, "no job %d in %s\n", want, jsonl.c_str());
+        return 2;
+      }
+      if (!record->ok() || record->volumes.empty()) {
+        std::fprintf(stderr,
+                     "job %d has no witness (status %s; pre-witness "
+                     "campaign files record none)\n",
+                     want, record->status.c_str());
+        return 3;
+      }
+    } else {
+      const int best = explain::best_region(regions);
+      if (best < 0) {
+        std::fprintf(stderr, "no gap-inducing job with a witness in %s\n",
+                     jsonl.c_str());
+        return 3;
+      }
+      record = &regions[static_cast<std::size_t>(best)].rep;
+    }
+    instance = heur::make_instance(runner::record_to_instance_config(*record));
+    witness = record->volumes;
+    options.source = jsonl + ":job=" + std::to_string(record->job);
+  } else {
+    try {
+      instance = heur::make_instance(instance_config(args, heuristic));
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+    heur::FindOptions find;
+    find.budget_seconds = args.get_num("budget", 30.0);
+    find.mip_threads =
+        std::max(1, static_cast<int>(args.get_num("mip-threads", 1)));
+    find.certify = true;
+    // No black-box seeding: keeps the witness (and hence the whole
+    // explain run) machine-load independent.
+    find.seed_search_seconds = 0.0;
+    const heur::GapFindResult found = instance->find_gap(find);
+    if (!found.has_solution() || found.gap <= 0.0) {
+      std::fprintf(stderr, "find produced no gap witness (status %s)\n",
+                   lp::to_string(found.status));
+      return 3;
+    }
+    witness = found.volumes;
+    options.source = "find";
+  }
+
+  explain::ExplainOutcome outcome =
+      explain_witness(*instance, witness, options);
+  outcome.report.regions = std::move(regions);
+  std::fputs(explain::render_text(outcome.report).c_str(), stdout);
+  if (!outcome.ok) {
+    std::fprintf(stderr, "explain: %s\n", outcome.error.c_str());
+  }
+
+  if (!bench_out.empty()) {
+    obs::BenchReport bench;
+    bench.bench = "explain";
+    bench.config = explain::bench_config(outcome.report);
+    bench.wall_seconds = outcome.report.wall_seconds;
+    bench.metrics = obs::diff(obs_baseline, obs::snapshot());
+    for (const auto& [name, samples] :
+         explain::bench_summaries(outcome.report)) {
+      bench.add_summary(name, samples);
+    }
+    bench.write(bench_out);
+    std::printf("bench:     %s\n", bench_out.c_str());
+  }
+  maybe_csv(args, "explain", instance->name(), outcome.report.core.gap,
+            instance->gap_normalizer() > 0.0
+                ? outcome.report.core.gap / instance->gap_normalizer()
+                : 0.0,
+            outcome.report.wall_seconds);
+  return outcome.ok ? 0 : 3;
+}
+
+/// Full subcommand overview; `out` is stdout for help requests and
+/// stderr for usage errors (same text either way).
+void print_help(std::FILE* out) {
+  std::fputs(
+      "metaopt — adversarial gap analysis for fast heuristics\n"
+      "\n"
+      "subcommands:\n"
+      "  topo <name|file>      topology summary\n"
+      "  find <heuristic>      white-box adversarial search (Eq. 1)\n"
+      "  bound dp|pop          primal-dual gap upper bound\n"
+      "  search hill|anneal|random|quant <heuristic>\n"
+      "                        black-box baselines\n"
+      "  sweep key=value...    parallel scenario sweep\n"
+      "  explain <heuristic>   minimal adversarial core of a gap witness\n"
+      "                        (also: explain --jsonl FILE from a sweep)\n"
+      "  help                  this overview\n"
+      "\n",
+      out);
+  std::string names;
+  for (const std::string& name : heur::registered_heuristics()) {
+    if (!names.empty()) names += ", ";
+    names += name;
+  }
+  std::fprintf(out, "registered heuristics: %s\n", names.c_str());
+  std::string strategies;
+  for (const std::string& name : explain::minimizer_names()) {
+    if (!strategies.empty()) strategies += ", ";
+    strategies += name;
+  }
+  std::fprintf(out, "core-minimizer strategies: %s\n", strategies.c_str());
+  std::fputs(
+      "\nsee the header of tools/metaopt_cli.cpp for all options\n", out);
+}
+
 /// Exports whatever the obs subsystem recorded (runs even when the
 /// command failed, so a partial trace of a crash-adjacent run survives).
 void export_obs(const Args& args) {
@@ -469,9 +643,14 @@ int main(int argc, char** argv) {
   if (const auto it = args.flags.find("log"); it != args.flags.end()) {
     util::set_log_level(it->second);
   }
+  if (args.flags.count("help") > 0) {
+    print_help(stdout);
+    return 0;
+  }
   if (args.positional.empty()) {
-    std::fprintf(stderr,
-                 "usage: metaopt topo|find|bound|search|sweep ... (see header)\n");
+    // Same overview as --help, but on stderr and failing: a bare
+    // `metaopt` is a usage error, not a help request.
+    print_help(stderr);
     return 2;
   }
   if (args.flags.count("metrics") > 0 || !args.get("trace", "").empty() ||
@@ -486,7 +665,12 @@ int main(int argc, char** argv) {
     else if (command == "bound") rc = cmd_bound(args);
     else if (command == "search") rc = cmd_search(args);
     else if (command == "sweep") rc = cmd_sweep(args);
-    else std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    else if (command == "explain") rc = cmd_explain(args);
+    else if (command == "help") { print_help(stdout); rc = 0; }
+    else {
+      std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+      print_help(stderr);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     rc = 1;
