@@ -1,0 +1,311 @@
+// Sparse-LU bench: node-LP throughput with the sparse LU basis
+// factorization vs the dense explicit inverse it replaced.
+//
+// Two workloads:
+//  * Node-LP throughput (the headline `speedup` counter): the Fig. 6
+//    problem size — the full DP metaoptimization model on B4, all
+//    pairs — solved cold once per backend, then re-solved warm through
+//    a branching-style sequence of binary fixings from the root basis.
+//    Each child re-solve is one B&B node's LP work (refactorize +
+//    bounded dual pivots), isolated from presolve/KKT/heuristic
+//    overhead. Both backends must agree on every child's terminal
+//    status and objective to 1e-6.
+//  * End-to-end branch-and-bound (the `bnb_speedup` counter): the
+//    Fig. 1 DP worst-case search plus a masked B4 tree, solved to
+//    proven optimality per backend on one thread with seeding disabled.
+//
+// Hard gates, all fatal:
+//  * dense and sparse must agree on every certified gap (<= 1e-6) —
+//    the factorization is an implementation detail, never an answer;
+//  * the sparse answers must be bit-identical across --mip-threads
+//    {1, 2, 4} (the PR 5 determinism contract, now resting on the
+//    pristine-factor cache gate of the sparse backend).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/adversarial.h"
+#include "kkt/kkt_rewriter.h"
+#include "lp/model.h"
+#include "lp/revised_simplex.h"
+#include "te/demand_pinning.h"
+#include "te/max_flow.h"
+#include "te/path_set.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace metaopt;
+
+/// The Fig. 6 metaopt model: adversarial demand box + KKT-rewritten
+/// OPT and DP followers on full B4 (no pair mask). Same construction
+/// as core::AdversarialGapFinder::find_dp_gap, minus the search.
+lp::Model build_fig6_model(const net::Topology& topo,
+                           const te::PathSet& paths) {
+  lp::Model model;
+  const double ub = topo.max_capacity();
+  std::vector<lp::Var> dvars(paths.num_pairs());
+  std::vector<lp::LinExpr> dexprs;
+  std::vector<bool> include(paths.num_pairs(), false);
+  for (int k = 0; k < paths.num_pairs(); ++k) {
+    const bool in = !paths.paths(k).empty();
+    include[k] = in;
+    if (in) {
+      dvars[k] = model.add_var("d[" + std::to_string(k) + "]", 0.0, ub);
+      dexprs.emplace_back(dvars[k]);
+    } else {
+      dexprs.emplace_back(0.0);
+    }
+  }
+  te::MaxFlowOptions mf;
+  mf.include = &include;
+  te::FlowEncoding opt_enc =
+      te::build_max_flow(model, topo, paths, dexprs, "opt.", mf);
+  const kkt::KktArtifacts opt_art = kkt::emit_kkt(model, opt_enc.inner, "opt.");
+  te::DpConfig dp;
+  dp.threshold = 50.0;
+  dp.demand_ub = ub;
+  te::DpEncoding dp_enc =
+      te::build_demand_pinning(model, topo, paths, dvars, dp, "dp.", &include);
+  const kkt::KktArtifacts dp_art = kkt::emit_kkt(model, dp_enc.inner, "dp.");
+  model.set_objective(lp::ObjSense::Maximize,
+                      opt_art.objective_expr - dp_art.objective_expr);
+  return model;
+}
+
+/// One backend's pass over the branching-style child sequence. Children
+/// fix one binary at a time (rotating through the model's binaries in a
+/// fixed pattern), so every re-solve refactorizes a fig6-size basis and
+/// runs a short dual cleanup — the per-node LP work of the tree search.
+struct LpThroughput {
+  double seconds = 0.0;
+  std::vector<int> statuses;      ///< per child, as int
+  std::vector<double> objectives; ///< per child, 0 when not Optimal
+};
+
+LpThroughput run_lp_children(const lp::Model& model,
+                             const std::vector<double>& lb,
+                             const std::vector<double>& ub,
+                             const std::vector<int>& binaries,
+                             lp::FactorKind kind, int children) {
+  lp::SimplexOptions opt;
+  opt.want_duals = false;
+  opt.certify = false;
+  LpThroughput out;
+  lp::WarmStartContext ctx(model, kind);
+  long iters = 0;
+  if (ctx.engine.solve_cold(opt, lb, ub, &iters) !=
+      lp::SolveStatus::Optimal) {
+    std::fprintf(stderr, "FATAL: fig6 root LP not Optimal (%s backend)\n",
+                 kind == lp::FactorKind::SparseLU ? "sparse" : "dense");
+    std::abort();
+  }
+  lp::Basis root;
+  ctx.engine.export_basis(root);
+  util::Stopwatch watch;
+  for (int k = 0; k < children; ++k) {
+    std::vector<double> clb = lb, cub = ub;
+    const int b = binaries[(static_cast<std::size_t>(k) * 7) %
+                           binaries.size()];
+    clb[b] = cub[b] = static_cast<double>(k % 2);
+    long it = 0;
+    const lp::SolveStatus st = ctx.engine.solve_warm(opt, clb, cub, root, &it);
+    out.statuses.push_back(static_cast<int>(st));
+    out.objectives.push_back(st == lp::SolveStatus::Optimal
+                                 ? ctx.engine.model_objective()
+                                 : 0.0);
+  }
+  out.seconds = watch.seconds();
+  return out;
+}
+
+struct Instance {
+  std::string name;
+  net::Topology topo;
+  double threshold = 50.0;
+  double demand_ub = 200.0;
+  int pairs = 0;  ///< adversarial support size (0 = all pairs, §3.3)
+};
+
+core::AdversarialResult solve_instance(const Instance& inst,
+                                       lp::FactorKind factor, int threads) {
+  const te::PathSet paths(inst.topo, te::all_pairs(inst.topo), 2);
+  core::AdversarialGapFinder finder(inst.topo, paths);
+  te::DpConfig dp;
+  dp.threshold = inst.threshold;
+  core::AdversarialOptions options;
+  options.demand_ub = inst.demand_ub;
+  if (inst.pairs > 0) {
+    options.pair_mask = bench::spread_mask(
+        static_cast<int>(te::all_pairs(inst.topo).size()), inst.pairs);
+  }
+  options.seed_search_seconds = 0.0;  // pure B&B: no black-box seeding
+  options.mip.time_limit_seconds = bench::scaled(120.0);
+  options.mip.certify = true;
+  options.mip.threads = threads;
+  options.mip.lp_factor = factor;
+  return finder.find_dp_gap(dp, options);
+}
+
+void fatal_mismatch(const char* what, const Instance& inst,
+                    const core::AdversarialResult& a,
+                    const core::AdversarialResult& b) {
+  std::fprintf(stderr,
+               "FATAL: %s disagree on %s (status %d vs %d, gap %.17g vs "
+               "%.17g, certified %d/%d)\n",
+               what, inst.name.c_str(), static_cast<int>(a.status),
+               static_cast<int>(b.status), a.gap, b.gap,
+               static_cast<int>(a.certified), static_cast<int>(b.certified));
+  std::abort();
+}
+
+void SparseLuNodes(benchmark::State& state) {
+  std::vector<Instance> instances;
+  for (const double threshold : {25.0, 50.0, 100.0}) {
+    instances.push_back({"fig1/t" + std::to_string(static_cast<int>(threshold)),
+                         net::topologies::fig1(), threshold, 200.0});
+  }
+  // demand_ub 0 = "max link capacity"; 6 adversarial pairs keep the
+  // tree closable within the budget (§3's scalability caveat).
+  instances.push_back({"b4/t50", net::topologies::b4(), 50.0, 0.0, 6});
+
+  const obs::MetricsSnapshot obs_baseline = bench::obs_begin();
+  util::Stopwatch bench_watch;
+
+  // ---- Phase 1: node-LP throughput on the Fig. 6 model ----
+  const net::Topology b4 = net::topologies::b4();
+  const te::PathSet b4_paths(b4, te::all_pairs(b4), 2);
+  const lp::Model fig6 = build_fig6_model(b4, b4_paths);
+  std::vector<double> fig6_lb(fig6.num_vars()), fig6_ub(fig6.num_vars());
+  std::vector<int> fig6_binaries;
+  for (lp::VarId v = 0; v < fig6.num_vars(); ++v) {
+    fig6_lb[v] = fig6.var(v).lb;
+    fig6_ub[v] = fig6.var(v).ub;
+    if (fig6.var(v).kind == lp::VarKind::Binary) {
+      fig6_binaries.push_back(static_cast<int>(v));
+    }
+  }
+  const int kChildren =
+      std::max(8, static_cast<int>(40 * bench::budget_scale()));
+  double sparse_lp_rate = 0.0, dense_lp_rate = 0.0;
+  {
+    const LpThroughput sparse = run_lp_children(
+        fig6, fig6_lb, fig6_ub, fig6_binaries, lp::FactorKind::SparseLU,
+        kChildren);
+    const LpThroughput dense = run_lp_children(
+        fig6, fig6_lb, fig6_ub, fig6_binaries, lp::FactorKind::DenseInverse,
+        kChildren);
+    int errors = 0;
+    for (int k = 0; k < kChildren; ++k) {
+      const auto s = static_cast<lp::SolveStatus>(sparse.statuses[k]);
+      const auto d = static_cast<lp::SolveStatus>(dense.statuses[k]);
+      if (s == lp::SolveStatus::Error || d == lp::SolveStatus::Error) {
+        ++errors;  // production falls back down the ladder; rare here
+        continue;
+      }
+      if (s != d || std::abs(sparse.objectives[k] - dense.objectives[k]) >
+                        1e-6 * std::max(1.0, std::abs(dense.objectives[k]))) {
+        std::fprintf(stderr,
+                     "FATAL: fig6 child %d sparse/dense disagree (status %d "
+                     "vs %d, obj %.12g vs %.12g)\n",
+                     k, sparse.statuses[k], dense.statuses[k],
+                     sparse.objectives[k], dense.objectives[k]);
+        std::abort();
+      }
+    }
+    if (errors > kChildren / 10) {
+      std::fprintf(stderr, "FATAL: fig6 children: %d/%d revised errors\n",
+                   errors, kChildren);
+      std::abort();
+    }
+    sparse_lp_rate = kChildren / std::max(sparse.seconds, 1e-9);
+    dense_lp_rate = kChildren / std::max(dense.seconds, 1e-9);
+  }
+  state.counters["sparse_lp_per_sec"] = sparse_lp_rate;
+  state.counters["dense_lp_per_sec"] = dense_lp_rate;
+  state.counters["speedup"] = sparse_lp_rate / std::max(dense_lp_rate, 1e-9);
+  state.counters["fig6_vars"] = fig6.num_vars();
+  state.counters["fig6_rows"] = fig6.stats().num_constraints;
+
+  // ---- Phase 2: end-to-end branch-and-bound gates ----
+  std::vector<double> sparse_rates, dense_rates, sparse_nodes, dense_nodes;
+  double sparse_total_nodes = 0.0, sparse_total_seconds = 0.0;
+  double dense_total_nodes = 0.0, dense_total_seconds = 0.0;
+  for (auto _ : state) {
+    auto out = bench::csv("sparse_lu_nodes");
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      const Instance& inst = instances[i];
+      const core::AdversarialResult sparse =
+          solve_instance(inst, lp::FactorKind::SparseLU, 1);
+      const core::AdversarialResult dense =
+          solve_instance(inst, lp::FactorKind::DenseInverse, 1);
+      // Gate 1: the two backends are interchangeable or broken.
+      if (sparse.status != lp::SolveStatus::Optimal ||
+          dense.status != lp::SolveStatus::Optimal ||
+          std::abs(sparse.gap - dense.gap) > 1e-6 || !sparse.certified ||
+          !dense.certified) {
+        fatal_mismatch("sparse/dense", inst, sparse, dense);
+      }
+      // Gate 2: thread-count invariance of the certified answer. The
+      // proven gap must be *bit-identical*, not merely close — every
+      // node LP is a pure function of (bounds, hint basis).
+      for (const int threads : {2, 4}) {
+        const core::AdversarialResult par =
+            solve_instance(inst, lp::FactorKind::SparseLU, threads);
+        if (par.status != sparse.status || par.gap != sparse.gap ||
+            !par.certified) {
+          fatal_mismatch("thread counts", inst, sparse, par);
+        }
+      }
+      const double sparse_rate = sparse.nodes / std::max(sparse.seconds, 1e-9);
+      const double dense_rate = dense.nodes / std::max(dense.seconds, 1e-9);
+      sparse_rates.push_back(sparse_rate);
+      dense_rates.push_back(dense_rate);
+      sparse_nodes.push_back(static_cast<double>(sparse.nodes));
+      dense_nodes.push_back(static_cast<double>(dense.nodes));
+      sparse_total_nodes += sparse.nodes;
+      sparse_total_seconds += sparse.seconds;
+      dense_total_nodes += dense.nodes;
+      dense_total_seconds += dense.seconds;
+      out.row("sparse_lu_nodes", "sparse", static_cast<double>(i), sparse_rate,
+              inst.name);
+      out.row("sparse_lu_nodes", "dense", static_cast<double>(i), dense_rate,
+              inst.name);
+    }
+  }
+  const double sparse_throughput =
+      sparse_total_nodes / std::max(sparse_total_seconds, 1e-9);
+  const double dense_throughput =
+      dense_total_nodes / std::max(dense_total_seconds, 1e-9);
+  state.counters["bnb_sparse_nodes_per_sec"] = sparse_throughput;
+  state.counters["bnb_dense_nodes_per_sec"] = dense_throughput;
+  state.counters["bnb_speedup"] =
+      sparse_throughput / std::max(dense_throughput, 1e-9);
+  bench::write_bench_report(
+      "sparse_lu", obs_baseline, bench_watch.seconds(),
+      {{"scale", std::to_string(bench::budget_scale())},
+       {"threads", "1"},
+       {"instances", std::to_string(instances.size())},
+       {"fig6_children", std::to_string(kChildren)},
+       {"speedup",
+        std::to_string(sparse_lp_rate / std::max(dense_lp_rate, 1e-9))},
+       {"bnb_speedup", std::to_string(sparse_throughput /
+                                      std::max(dense_throughput, 1e-9))}},
+      {{"sparse_lp_per_sec", {sparse_lp_rate}},
+       {"dense_lp_per_sec", {dense_lp_rate}},
+       {"bnb_sparse_nodes_per_sec", sparse_rates},
+       {"bnb_dense_nodes_per_sec", dense_rates},
+       {"bnb_sparse_nodes", sparse_nodes},
+       {"bnb_dense_nodes", dense_nodes}});
+}
+
+BENCHMARK(SparseLuNodes)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -200,6 +200,7 @@ heur::GapFindResult find_ffd_gap(const BinPackConfig& config,
 
   mip::MipOptions mip_options;
   mip_options.threads = options.mip_threads;
+  mip_options.lp.pricing = options.pricing;
   if (options.certify) {
     mip_options.certify = true;
     mip_options.lp.certify = true;

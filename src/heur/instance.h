@@ -22,6 +22,7 @@
 
 #include "heur/gap.h"
 #include "lp/model.h"
+#include "lp/simplex.h"
 
 namespace metaopt::heur {
 
@@ -35,6 +36,8 @@ struct FindOptions {
   bool certify = false;
   /// B&B worker threads (clamped to 1 inside a parallel sweep pool).
   int mip_threads = 1;
+  /// Entering-variable pricing rule for the node LPs (CLI: --pricing).
+  lp::Pricing pricing = lp::Pricing::Partial;
   /// Budget for the black-box pass that seeds the first incumbent
   /// (quantized climb + polish; §5's extremum-point observation).
   /// 0 disables seeding, which makes the run machine-load independent.

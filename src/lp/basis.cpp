@@ -1,17 +1,81 @@
 #include "lp/basis.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+
+#include "obs/obs.h"
 
 namespace metaopt::lp {
 
+namespace {
+
+const obs::Counter c_eta_count = obs::counter("simplex.eta_count");
+const obs::Counter c_fillin_triggers =
+    obs::counter("simplex.refactor_fillin_triggers");
+// Fill-in per factorization, recorded in percent of the basis-matrix
+// nonzeros (100 == no fill at all).
+const obs::Histogram h_fillin_ratio = obs::histogram("simplex.fillin_ratio");
+
+}  // namespace
+
 bool BasisFactor::factorize(const BoundedForm& form,
                             const std::vector<int>& basic, double pivot_tol) {
+  // A refactorization demanded by the eta-file fill-in monitor is the
+  // event the counter tracks; interval and cold refactorizations are
+  // counted separately by the engine.
+  if (fillin_triggered()) c_fillin_triggers.inc();
+
   const int m = form.num_rows;
   m_ = 0;
   pivots_ = 0;
+  etas_.clear();
+  eta_nnz_ = 0;
+  lu_nnz_ = 0;
+  basis_nnz_ = 0;
   factorized_empty_ = m == 0;
   if (m == 0) return true;
   if (static_cast<int>(basic.size()) != m) return false;
+
+  for (int k = 0; k < m; ++k) {
+    const int j = basic[k];
+    if (j < 0 || j >= form.num_cols()) return false;
+    basis_nnz_ += j < form.num_structs
+                      ? form.col_start[j + 1] - form.col_start[j]
+                      : 1;
+  }
+
+  const bool ok = kind_ == FactorKind::DenseInverse
+                      ? factorize_dense(form, basic, pivot_tol)
+                      : factorize_sparse(form, basic, pivot_tol);
+  if (!ok) return false;
+  m_ = m;
+  h_fillin_ratio.observe(
+      static_cast<std::uint64_t>(std::llround(fillin_ratio() * 100.0)));
+  return true;
+}
+
+double BasisFactor::fillin_ratio() const {
+  if (m_ == 0) return 1.0;
+  const double stored = kind_ == FactorKind::DenseInverse
+                            ? static_cast<double>(m_) * m_
+                            : static_cast<double>(lu_nnz_ + eta_nnz_);
+  return stored / std::max(1, basis_nnz_);
+}
+
+bool BasisFactor::fillin_triggered() const {
+  if (kind_ != FactorKind::SparseLU || m_ == 0) return false;
+  return static_cast<double>(eta_nnz_) > kEtaFillFactor * (lu_nnz_ + m_);
+}
+
+// ---------------------------------------------------------------------------
+// Dense kind: explicit inverse via Gauss-Jordan, product-form updates.
+// ---------------------------------------------------------------------------
+
+bool BasisFactor::factorize_dense(const BoundedForm& form,
+                                  const std::vector<int>& basic,
+                                  double pivot_tol) {
+  const int m = form.num_rows;
 
   // Assemble B column-by-column into `scratch_` (row-major m x m) and
   // reduce [B | I] by Gauss-Jordan with partial pivoting, leaving the
@@ -20,7 +84,6 @@ bool BasisFactor::factorize(const BoundedForm& form,
   inv_.assign(static_cast<std::size_t>(m) * m, 0.0);
   for (int k = 0; k < m; ++k) {
     const int j = basic[k];
-    if (j < 0 || j >= form.num_cols()) return false;
     if (j < form.num_structs) {
       for (int t = form.col_start[j]; t < form.col_start[j + 1]; ++t) {
         scratch_[static_cast<std::size_t>(form.col_row[t]) * m + k] =
@@ -75,12 +138,10 @@ bool BasisFactor::factorize(const BoundedForm& form,
       }
     }
   }
-  m_ = m;
   return true;
 }
 
-void BasisFactor::ftran(std::vector<double>& x) const {
-  if (m_ == 0) return;
+void BasisFactor::ftran_dense(std::vector<double>& x) const {
   work_.assign(m_, 0.0);
   const double* inv = inv_.data();
   for (int i = 0; i < m_; ++i) {
@@ -92,8 +153,7 @@ void BasisFactor::ftran(std::vector<double>& x) const {
   for (int i = 0; i < m_; ++i) x[i] = work_[i];
 }
 
-void BasisFactor::btran(std::vector<double>& x) const {
-  if (m_ == 0) return;
+void BasisFactor::btran_dense(std::vector<double>& x) const {
   work_.assign(m_, 0.0);
   const double* inv = inv_.data();
   // y = inv' x: accumulate each row of inv scaled by x[i].
@@ -106,23 +166,269 @@ void BasisFactor::btran(std::vector<double>& x) const {
   for (int i = 0; i < m_; ++i) x[i] = work_[i];
 }
 
+// ---------------------------------------------------------------------------
+// Sparse kind: left-looking LU with Markowitz-threshold pivoting.
+// ---------------------------------------------------------------------------
+
+bool BasisFactor::factorize_sparse(const BoundedForm& form,
+                                   const std::vector<int>& basic,
+                                   double pivot_tol) {
+  const int m = form.num_rows;
+
+  // Static row counts of the basis matrix (Markowitz tie-break) and
+  // per-position column counts (elimination order: cheapest first).
+  row_count_.assign(m, 0);
+  std::vector<int> col_nnz(m, 0);
+  for (int p = 0; p < m; ++p) {
+    const int j = basic[p];
+    if (j < form.num_structs) {
+      col_nnz[p] = form.col_start[j + 1] - form.col_start[j];
+      for (int t = form.col_start[j]; t < form.col_start[j + 1]; ++t) {
+        ++row_count_[form.col_row[t]];
+      }
+    } else {
+      col_nnz[p] = 1;
+      const int row = j < form.num_structs + m ? j - form.num_structs
+                                               : j - form.num_structs - m;
+      ++row_count_[row];
+    }
+  }
+  col_order_.resize(m);
+  for (int p = 0; p < m; ++p) col_order_[p] = p;
+  std::stable_sort(col_order_.begin(), col_order_.end(),
+                   [&](int a, int b) { return col_nnz[a] < col_nnz[b]; });
+
+  pivrow_.assign(m, -1);
+  col_of_step_.assign(m, -1);
+  diag_.assign(m, 0.0);
+  rowpos_.assign(m, -1);
+  lstart_.assign(1, 0);
+  ustart_.assign(1, 0);
+  lcol_.clear();
+  ucol_.clear();
+  fwork_.assign(m, 0.0);
+  fmark_.assign(m, 0);
+  ftouched_.clear();
+
+  const auto touch = [&](int row) {
+    if (fmark_[row] == 0) {
+      fmark_[row] = 1;
+      ftouched_.push_back(row);
+    }
+  };
+  const auto clear_touched = [&] {
+    for (const int row : ftouched_) {
+      fwork_[row] = 0.0;
+      fmark_[row] = 0;
+    }
+    ftouched_.clear();
+  };
+
+  for (int k = 0; k < m; ++k) {
+    const int p = col_order_[k];
+    const int j = basic[p];
+
+    // Scatter column p of B into the dense work vector.
+    if (j < form.num_structs) {
+      for (int t = form.col_start[j]; t < form.col_start[j + 1]; ++t) {
+        const int row = form.col_row[t];
+        touch(row);
+        fwork_[row] += form.col_val[t];
+      }
+    } else {
+      const int row = j < form.num_structs + m ? j - form.num_structs
+                                               : j - form.num_structs - m;
+      touch(row);
+      fwork_[row] += 1.0;
+    }
+
+    // Left-looking elimination: apply the L columns of every earlier
+    // step whose pivot row carries a nonzero. A pivot row, once read
+    // here, is never modified by later steps (their L columns only hold
+    // still-unpivoted rows), so fwork_[pivrow_[t]] IS u_{t,k} below.
+    for (int t = 0; t < k; ++t) {
+      const double u = fwork_[pivrow_[t]];
+      if (u == 0.0) continue;
+      for (int e = lstart_[t]; e < lstart_[t + 1]; ++e) {
+        const int row = lcol_[e].idx;
+        touch(row);
+        fwork_[row] -= lcol_[e].val * u;
+      }
+    }
+
+    // Gather the U column.
+    for (int t = 0; t < k; ++t) {
+      const double u = fwork_[pivrow_[t]];
+      if (u != 0.0) ucol_.push_back({t, u});
+    }
+    ustart_.push_back(static_cast<int>(ucol_.size()));
+
+    // Markowitz-threshold pivot: among still-unpivoted rows within
+    // kMarkowitzThreshold of the largest magnitude, take the one with
+    // the fewest basis-matrix nonzeros (lowest row index on ties, so
+    // the choice never depends on scatter order).
+    double wmax = 0.0;
+    for (const int row : ftouched_) {
+      if (rowpos_[row] >= 0) continue;
+      wmax = std::max(wmax, std::abs(fwork_[row]));
+    }
+    if (wmax <= pivot_tol) {
+      clear_touched();
+      return false;  // numerically singular
+    }
+    const double accept = std::max(pivot_tol, kMarkowitzThreshold * wmax);
+    int best_row = -1;
+    int best_cnt = std::numeric_limits<int>::max();
+    for (const int row : ftouched_) {
+      if (rowpos_[row] >= 0) continue;
+      if (std::abs(fwork_[row]) < accept) continue;
+      const int cnt = row_count_[row];
+      if (cnt < best_cnt || (cnt == best_cnt && row < best_row)) {
+        best_cnt = cnt;
+        best_row = row;
+      }
+    }
+    if (best_row < 0) {
+      // Threshold floor sits above pivot_tol only when wmax does; the
+      // max() above guarantees at least the wmax row qualifies.
+      clear_touched();
+      return false;
+    }
+    pivrow_[k] = best_row;
+    rowpos_[best_row] = k;
+    col_of_step_[k] = p;
+    diag_[k] = fwork_[best_row];
+
+    // L multipliers for the remaining unpivoted rows.
+    const double inv_piv = 1.0 / diag_[k];
+    for (const int row : ftouched_) {
+      if (rowpos_[row] >= 0) continue;
+      const double v = fwork_[row];
+      if (v != 0.0) lcol_.push_back({row, v * inv_piv});
+    }
+    lstart_.push_back(static_cast<int>(lcol_.size()));
+    clear_touched();
+  }
+
+  lu_nnz_ = static_cast<int>(lcol_.size() + ucol_.size()) + m;
+  return true;
+}
+
+void BasisFactor::ftran_sparse(std::vector<double>& x) const {
+  // Forward: L y = P x, in original row space.
+  for (int k = 0; k < m_; ++k) {
+    const double xk = x[pivrow_[k]];
+    if (xk == 0.0) continue;
+    for (int e = lstart_[k]; e < lstart_[k + 1]; ++e) {
+      x[lcol_[e].idx] -= lcol_[e].val * xk;
+    }
+  }
+  // Backward: U z = y, step space; y_t lives at x[pivrow_[t]].
+  zwork_.assign(m_, 0.0);
+  for (int k = m_ - 1; k >= 0; --k) {
+    const double zk = x[pivrow_[k]] / diag_[k];
+    zwork_[k] = zk;
+    if (zk == 0.0) continue;
+    for (int e = ustart_[k]; e < ustart_[k + 1]; ++e) {
+      x[pivrow_[ucol_[e].idx]] -= ucol_[e].val * zk;
+    }
+  }
+  // Permute steps back to basis positions.
+  for (int k = 0; k < m_; ++k) x[col_of_step_[k]] = zwork_[k];
+
+  // Eta file, oldest first (B = B0 E1 ... Ek, so B^-1 applies Ek^-1 last).
+  for (const Eta& eta : etas_) {
+    const double xr = x[eta.r] / eta.pivot;
+    x[eta.r] = xr;
+    if (xr == 0.0) continue;
+    for (const SparseEntry& e : eta.terms) x[e.idx] -= e.val * xr;
+  }
+}
+
+void BasisFactor::btran_sparse(std::vector<double>& x) const {
+  // Eta transposes, newest first.
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+    double acc = x[it->r];
+    for (const SparseEntry& e : it->terms) acc -= e.val * x[e.idx];
+    x[it->r] = acc / it->pivot;
+  }
+  // Position space -> step space.
+  zwork_.resize(m_);
+  for (int k = 0; k < m_; ++k) zwork_[k] = x[col_of_step_[k]];
+  // U' w = c': forward, U' is lower triangular in step order.
+  for (int k = 0; k < m_; ++k) {
+    double acc = zwork_[k];
+    for (int e = ustart_[k]; e < ustart_[k + 1]; ++e) {
+      acc -= ucol_[e].val * zwork_[ucol_[e].idx];
+    }
+    zwork_[k] = acc / diag_[k];
+  }
+  // L' v = w: backward; the result lands row-indexed through pivrow_.
+  // L columns only reference rows pivoted at later steps, which this
+  // descending sweep has already written.
+  for (int k = m_ - 1; k >= 0; --k) {
+    double acc = zwork_[k];
+    for (int e = lstart_[k]; e < lstart_[k + 1]; ++e) {
+      acc -= lcol_[e].val * x[lcol_[e].idx];
+    }
+    x[pivrow_[k]] = acc;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shared interface.
+// ---------------------------------------------------------------------------
+
+void BasisFactor::ftran(std::vector<double>& x) const {
+  if (m_ == 0) return;
+  if (kind_ == FactorKind::DenseInverse) {
+    ftran_dense(x);
+  } else {
+    ftran_sparse(x);
+  }
+}
+
+void BasisFactor::btran(std::vector<double>& x) const {
+  if (m_ == 0) return;
+  if (kind_ == FactorKind::DenseInverse) {
+    btran_dense(x);
+  } else {
+    btran_sparse(x);
+  }
+}
+
 bool BasisFactor::update(int r, const std::vector<double>& w,
                          double pivot_tol) {
   if (m_ == 0) return false;
   const double piv = w[r];
   if (std::abs(piv) <= pivot_tol) return false;
-  double* inv = inv_.data();
-  const double scale = 1.0 / piv;
-  double* row_r = inv + static_cast<std::size_t>(r) * m_;
-  for (int k = 0; k < m_; ++k) row_r[k] *= scale;
-  for (int i = 0; i < m_; ++i) {
-    if (i == r) continue;
-    const double factor = w[i];
-    if (factor == 0.0) continue;
-    double* row_i = inv + static_cast<std::size_t>(i) * m_;
-    for (int k = 0; k < m_; ++k) row_i[k] -= factor * row_r[k];
+
+  if (kind_ == FactorKind::DenseInverse) {
+    double* inv = inv_.data();
+    const double scale = 1.0 / piv;
+    double* row_r = inv + static_cast<std::size_t>(r) * m_;
+    for (int k = 0; k < m_; ++k) row_r[k] *= scale;
+    for (int i = 0; i < m_; ++i) {
+      if (i == r) continue;
+      const double factor = w[i];
+      if (factor == 0.0) continue;
+      double* row_i = inv + static_cast<std::size_t>(i) * m_;
+      for (int k = 0; k < m_; ++k) row_i[k] -= factor * row_r[k];
+    }
+    ++pivots_;
+    return true;
   }
+
+  Eta eta;
+  eta.r = r;
+  eta.pivot = piv;
+  for (int i = 0; i < m_; ++i) {
+    if (i != r && w[i] != 0.0) eta.terms.push_back({i, w[i]});
+  }
+  eta_nnz_ += static_cast<int>(eta.terms.size()) + 1;
+  etas_.push_back(std::move(eta));
   ++pivots_;
+  c_eta_count.inc();
   return true;
 }
 

@@ -17,6 +17,7 @@ const obs::Counter c_refactorizations =
     obs::counter("simplex.refactorizations");
 const obs::Counter c_factor_cache_hits =
     obs::counter("simplex.factor_cache_hits");
+const obs::Counter c_perturbations = obs::counter("simplex.perturbations");
 
 /// Absolute window inside which two ratio-test values count as tied.
 constexpr double kRatioTieTol = 1e-12;
@@ -24,13 +25,29 @@ constexpr double kRatioTieTol = 1e-12;
 /// Step below which a pivot counts as degenerate (stall bookkeeping).
 constexpr double kDegenerateStep = 1e-12;
 
+/// Columns per partial-pricing window (at least this many; larger
+/// problems scan total/8 so a window is never a vanishing fraction).
+constexpr int kMinPriceWindow = 64;
+
+/// Deterministic hash of a column id into [0, 1): the perturbation
+/// spread. A local splitmix64 so the epsilons are a pure function of
+/// the column — never of engine history or platform.
+double hash01(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
 }  // namespace
 
-RevisedSimplex::RevisedSimplex(const BoundedForm& form)
+RevisedSimplex::RevisedSimplex(const BoundedForm& form, FactorKind factor)
     : form_(form),
       n_(form.num_structs),
       m_(form.num_rows),
-      total_(form.num_cols()) {
+      total_(form.num_cols()),
+      factor_(factor) {
   cost2_.assign(total_, 0.0);
   for (int j = 0; j < n_; ++j) cost2_[j] = form_.cost[j];
   cl_.assign(total_, 0.0);
@@ -167,6 +184,168 @@ double RevisedSimplex::phase1_objective() const {
   return obj;
 }
 
+int RevisedSimplex::price_entering(const std::vector<double>& cost, bool bland,
+                                   const SimplexOptions& opt, int* dir) {
+  // Eligibility and raw score of one column; returns the moving
+  // direction (0 = not eligible).
+  const auto candidate = [&](int j, double* score) -> int {
+    if (status_[j] == VarStatus::Basic) return 0;
+    if (cu_[j] - cl_[j] <= 0.0) return 0;  // fixed: can't move
+    const double d = cost[j] - col_dot(y_, j);
+    switch (status_[j]) {
+      case VarStatus::AtLower:
+        if (d < -opt.cost_tol) {
+          *score = -d;
+          return 1;
+        }
+        break;
+      case VarStatus::AtUpper:
+        if (d > opt.cost_tol) {
+          *score = d;
+          return -1;
+        }
+        break;
+      case VarStatus::Free:
+        if (std::abs(d) > opt.cost_tol) {
+          *score = std::abs(d);
+          return d < 0.0 ? 1 : -1;
+        }
+        break;
+      case VarStatus::Basic:
+        break;
+    }
+    return 0;
+  };
+
+  int q = -1;
+  *dir = 0;
+
+  if (bland) {
+    // Bland's rule needs a fixed total order: always first eligible
+    // from column 0, ignoring the pricing mode.
+    for (int j = 0; j < total_; ++j) {
+      double score = 0.0;
+      const int jdir = candidate(j, &score);
+      if (jdir != 0) {
+        *dir = jdir;
+        return j;
+      }
+    }
+    return -1;
+  }
+
+  if (opt.pricing == Pricing::Partial) {
+    // Cyclic window scan resuming at price_cursor_: take the best
+    // candidate of the first window that has one; a full wrap with no
+    // candidate proves optimality.
+    const int window = std::max(kMinPriceWindow, total_ / 8);
+    double best = 0.0;
+    int idx = price_cursor_ >= total_ ? 0 : price_cursor_;
+    int in_window = 0;
+    for (int scanned = 0; scanned < total_; ++scanned) {
+      double score = 0.0;
+      const int jdir = candidate(idx, &score);
+      if (jdir != 0 && (q < 0 || score > best)) {
+        best = score;
+        q = idx;
+        *dir = jdir;
+      }
+      if (++idx == total_) idx = 0;
+      if (++in_window == window) {
+        if (q >= 0) break;
+        in_window = 0;
+      }
+    }
+    if (q >= 0) price_cursor_ = idx;
+    return q;
+  }
+
+  // Full-scan rules: Dantzig (|d|) or Devex-weighted steepest edge
+  // (d^2 / gamma_j against the reference framework).
+  const bool devex = opt.pricing == Pricing::SteepestEdge;
+  double best = 0.0;
+  for (int j = 0; j < total_; ++j) {
+    double score = 0.0;
+    const int jdir = candidate(j, &score);
+    if (jdir == 0) continue;
+    if (devex) score = score * score / devex_[j];
+    if (q < 0 || score > best) {
+      best = score;
+      q = j;
+      *dir = jdir;
+    }
+  }
+  return q;
+}
+
+void RevisedSimplex::devex_update(int r, int q, int lcol,
+                                  const std::vector<double>& w) {
+  // Devex reference-weight propagation (Harris 1973; Forrest & Goldfarb
+  // 1992): with alpha = row r of B^{-1}A, every nonbasic weight rises to
+  // at least (alpha_j / alpha_q)^2 * gamma_q, and the leaving column
+  // re-enters the nonbasic set with the entering column's projected
+  // weight. One btran + one matrix sweep per pivot, only in
+  // SteepestEdge mode.
+  const double alpha_q = w[r];
+  if (alpha_q == 0.0) return;
+  rho_.assign(m_, 0.0);
+  rho_[r] = 1.0;
+  factor_.btran(rho_);
+  const double gamma_q = std::max(devex_[q], 1.0);
+  const double inv_aq2 = 1.0 / (alpha_q * alpha_q);
+  for (int j = 0; j < total_; ++j) {
+    if (status_[j] == VarStatus::Basic || j == q) continue;
+    if (cu_[j] - cl_[j] <= 0.0) continue;
+    const double alpha_j = col_dot(rho_, j);
+    if (alpha_j == 0.0) continue;
+    const double cand = alpha_j * alpha_j * inv_aq2 * gamma_q;
+    if (cand > devex_[j]) devex_[j] = cand;
+  }
+  devex_[lcol] = std::max(gamma_q * inv_aq2, 1.0);
+}
+
+void RevisedSimplex::apply_perturbation() {
+  // EXPAND-style: relax the *active* finite bounds of basic variables
+  // outward by deterministic per-column epsilons. No point moves, but
+  // the tied ratio-test values that keep producing zero-step pivots
+  // spread apart, so the next pivots make real progress. solve_cold
+  // restores the bounds and cleans up before reporting.
+  for (int i = 0; i < m_; ++i) {
+    const int b = basic_[i];
+    double ncl = cl_[b];
+    double ncu = cu_[b];
+    if (std::isfinite(cl_[b]) &&
+        x_[b] - cl_[b] <= tol::kPerturbActiveTol * (1.0 + std::abs(cl_[b]))) {
+      ncl -= tol::kPerturbBase * (1.0 + hash01(static_cast<std::uint64_t>(b))) *
+             (1.0 + std::abs(cl_[b]));
+    }
+    if (std::isfinite(cu_[b]) &&
+        cu_[b] - x_[b] <= tol::kPerturbActiveTol * (1.0 + std::abs(cu_[b]))) {
+      ncu += tol::kPerturbBase *
+             (1.0 + hash01(static_cast<std::uint64_t>(b) + 0x5bd1e995u)) *
+             (1.0 + std::abs(cu_[b]));
+    }
+    if (ncl != cl_[b] || ncu != cu_[b]) {
+      perturb_undo_.push_back({b, cl_[b], cu_[b]});
+      cl_[b] = ncl;
+      cu_[b] = ncu;
+    }
+  }
+  if (!perturb_undo_.empty()) {
+    perturbed_ = true;
+    c_perturbations.inc();
+  }
+}
+
+void RevisedSimplex::remove_perturbation() {
+  for (const BoundPerturbation& p : perturb_undo_) {
+    cl_[p.col] = p.cl;
+    cu_[p.col] = p.cu;
+  }
+  perturb_undo_.clear();
+  perturbed_ = false;
+}
+
 bool RevisedSimplex::exchange(int r, int q, const std::vector<double>& w,
                               double pivot_tol) {
   const int leaving = basic_[r];
@@ -192,6 +371,8 @@ SolveStatus RevisedSimplex::primal_iterate(const std::vector<double>& cost,
                                            long* iters) {
   long degen_streak = 0;
   bool bland = false;
+  price_cursor_ = 0;
+  if (opt.pricing == Pricing::SteepestEdge) devex_.assign(total_, 1.0);
   for (;;) {
     if (*iters >= opt.max_iterations) return SolveStatus::IterationLimit;
     if ((*iters & 15) == 0 && watch_.seconds() > opt.time_limit_seconds) {
@@ -206,51 +387,8 @@ SolveStatus RevisedSimplex::primal_iterate(const std::vector<double>& cost,
 
     compute_y(cost, y_);
 
-    // Pricing: Dantzig (most negative reduced cost in the moving
-    // direction); Bland's rule (first eligible) after a stall.
-    int q = -1;
     int dir = 0;
-    double best = opt.cost_tol;
-    for (int j = 0; j < total_; ++j) {
-      if (status_[j] == VarStatus::Basic) continue;
-      if (cu_[j] - cl_[j] <= 0.0) continue;  // fixed: can't move
-      const double d = cost[j] - col_dot(y_, j);
-      double score = 0.0;
-      int jdir = 0;
-      switch (status_[j]) {
-        case VarStatus::AtLower:
-          if (d < -opt.cost_tol) {
-            score = -d;
-            jdir = 1;
-          }
-          break;
-        case VarStatus::AtUpper:
-          if (d > opt.cost_tol) {
-            score = d;
-            jdir = -1;
-          }
-          break;
-        case VarStatus::Free:
-          if (std::abs(d) > opt.cost_tol) {
-            score = std::abs(d);
-            jdir = d < 0.0 ? 1 : -1;
-          }
-          break;
-        case VarStatus::Basic:
-          break;
-      }
-      if (jdir == 0) continue;
-      if (bland) {
-        q = j;
-        dir = jdir;
-        break;
-      }
-      if (score > best) {
-        best = score;
-        q = j;
-        dir = jdir;
-      }
-    }
+    const int q = price_entering(cost, bland, opt, &dir);
     if (q < 0) return SolveStatus::Optimal;
 
     ftran_column(q, w_);
@@ -322,14 +460,25 @@ SolveStatus RevisedSimplex::primal_iterate(const std::vector<double>& cost,
       x_[basic_[i]] -= dir * step * w_[i];
     }
     x_[lcol] = leave_up ? cu_[lcol] : cl_[lcol];
-    status_[lcol] = leave_up ? VarStatus::AtUpper : VarStatus::AtLower;
     x_[q] += dir * step;
+    // Devex weights need row r of B^{-1}A for the *outgoing* basis, so
+    // update them before the exchange mutates the factor.
+    if (opt.pricing == Pricing::SteepestEdge && !bland) {
+      devex_update(leave, q, lcol, w_);
+    }
+    status_[lcol] = leave_up ? VarStatus::AtUpper : VarStatus::AtLower;
     if (!exchange(leave, q, w_, opt.pivot_tol)) return SolveStatus::Error;
     ++*iters;
     c_revised_pivots.inc();
 
     if (step <= kDegenerateStep) {
-      if (++degen_streak >= opt.stall_limit && !bland) bland = true;
+      ++degen_streak;
+      if (!phase1 && opt.perturb && !perturbed_ &&
+          degen_streak >= opt.perturb_after) {
+        apply_perturbation();
+        degen_streak = 0;
+      }
+      if (degen_streak >= opt.stall_limit && !bland) bland = true;
     } else {
       degen_streak = 0;
     }
@@ -463,6 +612,8 @@ SolveStatus RevisedSimplex::solve_cold(const SimplexOptions& opt,
                                        long* iterations) {
   watch_.reset();
   *iterations = 0;
+  perturb_undo_.clear();
+  perturbed_ = false;
   set_bounds(lb, ub);
 
   // Crash point: structurals at their nearest finite bound (free at 0).
@@ -548,8 +699,29 @@ SolveStatus RevisedSimplex::solve_cold(const SimplexOptions& opt,
     }
   }
 
-  const SolveStatus st =
-      primal_iterate(cost2_, /*phase1=*/false, opt, iterations);
+  SolveStatus st = primal_iterate(cost2_, /*phase1=*/false, opt, iterations);
+  if (perturbed_) {
+    // The point optimized the relaxed box. Restore the true bounds,
+    // re-pin the nonbasics, and let the dual simplex repair the (at most
+    // epsilon-sized) primal violations — costs never changed, so the
+    // basis is still dual feasible. Unboundedness survives restoration
+    // (the recession cone ignores bound offsets); a cleanup that ends
+    // Infeasible contradicts phase 1 and is reported as Error so the
+    // fallback ladder re-solves without trusting it.
+    remove_perturbation();
+    if (st == SolveStatus::Optimal) {
+      for (int j = 0; j < total_; ++j) {
+        if (status_[j] == VarStatus::AtLower && std::isfinite(cl_[j])) {
+          x_[j] = cl_[j];
+        } else if (status_[j] == VarStatus::AtUpper && std::isfinite(cu_[j])) {
+          x_[j] = cu_[j];
+        }
+      }
+      compute_basic_values();
+      st = dual_iterate(opt, iterations);
+      if (st == SolveStatus::Infeasible) st = SolveStatus::Error;
+    }
+  }
   if (st == SolveStatus::Optimal && !accuracy_ok(opt.feas_tol)) {
     return SolveStatus::Error;
   }
@@ -562,6 +734,8 @@ SolveStatus RevisedSimplex::solve_warm(const SimplexOptions& opt,
                                        const Basis& hint, long* iterations) {
   watch_.reset();
   *iterations = 0;
+  perturb_undo_.clear();
+  perturbed_ = false;
   if (static_cast<int>(hint.status.size()) != total_) {
     return SolveStatus::Error;
   }

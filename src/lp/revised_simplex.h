@@ -49,7 +49,10 @@ namespace metaopt::lp {
 class RevisedSimplex {
  public:
   /// `form` must outlive the engine (WarmStartContext owns both).
-  explicit RevisedSimplex(const BoundedForm& form);
+  /// `factor` picks the basis factorization backend — sparse LU by
+  /// default, the dense inverse for differential tests and benchmarks.
+  explicit RevisedSimplex(const BoundedForm& form,
+                          FactorKind factor = FactorKind::SparseLU);
 
   /// Cold solve with the given model-space variable bounds (size
   /// num_structs). Optimal/Infeasible/Unbounded are trustworthy;
@@ -97,6 +100,19 @@ class RevisedSimplex {
   /// Applies one basis exchange at position r (entering q along w).
   [[nodiscard]] bool exchange(int r, int q, const std::vector<double>& w,
                               double pivot_tol);
+  /// Entering-variable selection for primal_iterate per opt.pricing
+  /// (Bland's first-eligible rule when `bland`). Returns the column or
+  /// -1 (optimal), with the moving direction in *dir.
+  [[nodiscard]] int price_entering(const std::vector<double>& cost, bool bland,
+                                   const SimplexOptions& opt, int* dir);
+  /// Devex reference-weight update after a pivot (entering q at basis
+  /// position r along w = B^{-1} a_q, leaving column lcol).
+  void devex_update(int r, int q, int lcol, const std::vector<double>& w);
+  /// Relaxes the active bounds of degenerate basic variables by
+  /// deterministic per-column epsilons (EXPAND-style anti-degeneracy).
+  void apply_perturbation();
+  /// Restores every bound apply_perturbation() touched.
+  void remove_perturbation();
 
   /// Bounded primal simplex loop over the current basis/point.
   SolveStatus primal_iterate(const std::vector<double>& cost, bool phase1,
@@ -121,6 +137,18 @@ class RevisedSimplex {
 
   util::Stopwatch watch_;  ///< reset at each solve entry (time limit)
 
+  // pricing state (reset at each primal iterate entry)
+  int price_cursor_ = 0;       ///< partial pricing resume point
+  std::vector<double> devex_;  ///< Devex reference weights (SteepestEdge)
+
+  // anti-degeneracy perturbation (solve_cold only; see simplex.h)
+  struct BoundPerturbation {
+    int col;
+    double cl, cu;  ///< true bounds to restore
+  };
+  std::vector<BoundPerturbation> perturb_undo_;
+  bool perturbed_ = false;
+
   // scratch
   std::vector<double> w_, rho_, y_, resid_, cost1_;
 };
@@ -136,8 +164,9 @@ class RevisedSimplex {
 /// published as shared_ptr<const Basis>.
 class WarmStartContext {
  public:
-  explicit WarmStartContext(const Model& model)
-      : form(BoundedForm::build(model)), engine(form) {}
+  explicit WarmStartContext(const Model& model,
+                            FactorKind factor = FactorKind::SparseLU)
+      : form(BoundedForm::build(model)), engine(form, factor) {}
   WarmStartContext(const WarmStartContext&) = delete;
   WarmStartContext& operator=(const WarmStartContext&) = delete;
 

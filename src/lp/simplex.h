@@ -25,6 +25,14 @@ inline constexpr bool kCertifyByDefault = true;
 inline constexpr bool kCertifyByDefault = false;
 #endif
 
+/// Entering-variable pricing rule of the revised primal simplex (the
+/// dense tableau solver always prices Dantzig-style).
+enum class Pricing {
+  Dantzig,       ///< most negative reduced cost, full scan
+  Partial,       ///< best candidate in a cyclic column window (default)
+  SteepestEdge,  ///< Devex reference weights: d^2 / gamma, full scan
+};
+
 struct SimplexOptions {
   long max_iterations = 200000;
   double time_limit_seconds = 1e30;
@@ -32,6 +40,15 @@ struct SimplexOptions {
   double feas_tol = tol::kFeasTol;    ///< phase-1 residual treated as feasible
   double cost_tol = tol::kCostTol;    ///< reduced-cost optimality tolerance
   long stall_limit = 2000;   ///< degenerate pivots before Bland's rule
+  Pricing pricing = Pricing::Partial;  ///< revised primal pricing rule
+  /// EXPAND-style anti-degeneracy: after `perturb_after` consecutive
+  /// degenerate pivots, relax the active bounds of degenerate basic
+  /// variables by deterministic per-column epsilons, finish the solve,
+  /// then restore the true bounds and clean up with the dual simplex.
+  /// Pure function of the instance (epsilons are hashed from column
+  /// ids), so the parallel-B&B determinism contract is preserved.
+  bool perturb = true;
+  long perturb_after = 50;
   bool want_duals = true;
   /// Run check::certify_lp on every Optimal solve and record the outcome
   /// in Solution::certified (failures are logged at Error level). On by

@@ -136,11 +136,11 @@ struct QueueEntry {
 /// immutable Basis objects hanging off nodes cross threads.
 struct WorkerState {
   explicit WorkerState(const lp::SimplexOptions& lp_opts, const Model& model,
-                       bool use_warm_start)
+                       bool use_warm_start, lp::FactorKind factor)
       : solver(lp_opts) {
     c_solver_instances.inc();
     if (use_warm_start) {
-      warm = std::make_unique<lp::WarmStartContext>(model);
+      warm = std::make_unique<lp::WarmStartContext>(model, factor);
     }
   }
 
@@ -533,7 +533,8 @@ void TreeSearch::process_node(const QueueEntry& entry, WorkerState& ws) {
 }
 
 void TreeSearch::worker_loop() {
-  WorkerState ws(lp_opts_, model_, options_.use_warm_start);
+  WorkerState ws(lp_opts_, model_, options_.use_warm_start,
+                 options_.lp_factor);
   for (;;) {
     QueueEntry entry;
     {

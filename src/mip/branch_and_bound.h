@@ -30,6 +30,7 @@
 #include <optional>
 #include <vector>
 
+#include "lp/basis.h"
 #include "lp/model.h"
 #include "lp/simplex.h"
 #include "lp/solution.h"
@@ -60,6 +61,11 @@ struct MipOptions {
   /// stale or numerically unusable). Off forces every node cold —
   /// identical answers, useful for differential tests and benchmarks.
   bool use_warm_start = true;
+  /// Basis factorization backend for the per-worker revised simplex
+  /// engines. Sparse LU is the production default; the dense explicit
+  /// inverse is kept as the differential baseline for tests and the
+  /// dense-vs-sparse node-throughput benchmark.
+  lp::FactorKind lp_factor = lp::FactorKind::SparseLU;
   /// Lint the model before the search and run check::certify_mip on the
   /// final incumbent, recording the outcome in Solution::certified
   /// (failures are logged at Error level). On by default in Debug

@@ -54,6 +54,20 @@ inline constexpr double kComplTol = 1e-6;
 inline constexpr double kRelGap = 1e-6;
 inline constexpr double kAbsGap = 1e-7;
 
+// ---- anti-degeneracy bound perturbation (lp/revised_simplex.cpp) ----
+
+/// Base magnitude of the EXPAND-style bound relaxation applied to
+/// degenerate basic variables after a stall: each perturbed bound moves
+/// outward by kPerturbBase * (1 + hash01(col)) * (1 + |bound|). One
+/// order above kCostTol so the spread actually separates tied ratio
+/// tests, two below kFeasTol so the post-restore dual cleanup moves by
+/// steps the accuracy check considers noise.
+inline constexpr double kPerturbBase = 1e-8;
+
+/// A basic variable within this relative distance of a finite bound
+/// counts as degenerate-active and gets that bound perturbed.
+inline constexpr double kPerturbActiveTol = 1e-7;
+
 // ---- presolve (lp/presolve.h default) ----
 
 /// Activity-bound slack below which presolve rounds and comparisons are

@@ -9,9 +9,18 @@
 //     parent-optimal basis, against a cold solve of the same child.
 // Optimal solves additionally pass check::certify_lp with duals.
 //
+// A second harness drives hostile structured families — highly
+// degenerate RHS (many rows active at one vertex), near-singular bases,
+// singleton-heavy columns, totally-unimodular flow matrices — through a
+// three-way differential: dense tableau vs cold revised with the sparse
+// LU factor vs cold revised with the dense explicit inverse, plus
+// sparse-vs-dense warm child re-solves from each root basis.
+//
 // The root seed comes from METAOPT_FUZZ_SEED when set (CI rotates it per
 // run and echoes it for replay); instances derive per-index streams with
 // util::derive_seed, so one failing index reproduces in isolation.
+// METAOPT_FUZZ_COUNT scales the instance counts (default 600 random +
+// 4 x 150 hostile; sanitizer jobs dial it down).
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -37,7 +46,6 @@ using lp::ObjSense;
 using lp::Solution;
 using lp::SolveStatus;
 
-constexpr int kInstances = 600;
 constexpr double kObjTol = 1e-6;
 
 std::uint64_t root_seed() {
@@ -46,6 +54,16 @@ std::uint64_t root_seed() {
     return static_cast<std::uint64_t>(parsed);
   }
   return 20260807;
+}
+
+/// Random-family instance count: METAOPT_FUZZ_COUNT when set (floor 10),
+/// else 600. Hostile families run a quarter of this each.
+int instance_count() {
+  if (const char* env = std::getenv("METAOPT_FUZZ_COUNT")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<int>(std::max(10L, parsed));
+  }
+  return 600;
 }
 
 /// Random LP in the shapes the tree search produces: small, well-scaled,
@@ -158,6 +176,182 @@ void tighten_child_bounds(util::Rng& rng, const Solution& parent,
   }
 }
 
+// ---- hostile structured families ----
+//
+// Each generator targets one classic failure mode of simplex
+// factorization / anti-degeneracy machinery. They are feasible-biased
+// (rows built around an interior reference point) so the differential
+// mostly compares Optimal answers, the hard case.
+
+/// Highly degenerate RHS: every row exactly active at one reference
+/// point, so the optimal vertex has far more tight rows than dimensions
+/// and ties dominate every ratio test.
+Model make_degenerate_rhs_lp(util::Rng& rng) {
+  Model model;
+  const int n = rng.uniform_int(2, 5);
+  const int m = rng.uniform_int(4, 10);
+  std::vector<lp::Var> vars;
+  std::vector<double> x0(n);
+  for (int j = 0; j < n; ++j) {
+    vars.push_back(model.add_var("x" + std::to_string(j), 0.0, 10.0));
+    x0[j] = rng.uniform(1.0, 9.0);
+  }
+  for (int r = 0; r < m; ++r) {
+    lp::LinExpr expr;
+    double activity = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (!rng.bernoulli(0.8)) continue;
+      const double coef = rng.uniform(-4.0, 4.0);
+      expr.add_term(vars[j], coef);
+      activity += coef * x0[j];
+    }
+    // rhs == exact activity: the row is tight at x0 whichever sense.
+    switch (rng.uniform_int(0, 2)) {
+      case 0: model.add_constraint(expr <= lp::LinExpr(activity)); break;
+      case 1: model.add_constraint(expr >= lp::LinExpr(activity)); break;
+      default: model.add_constraint(expr == lp::LinExpr(activity)); break;
+    }
+  }
+  lp::LinExpr obj;
+  for (int j = 0; j < n; ++j) obj.add_term(vars[j], rng.uniform(-3.0, 3.0));
+  model.set_objective(rng.bernoulli(0.5) ? ObjSense::Minimize
+                                         : ObjSense::Maximize,
+                      obj);
+  return model;
+}
+
+/// Near-singular bases: each row is a scalar multiple of the previous
+/// one plus noise at a magnitude stepping down to 1e-7, so candidate
+/// bases range from comfortably factorizable to just above the pivot
+/// tolerance. Exercises the Markowitz threshold and the singularity
+/// bail-out path.
+Model make_near_singular_lp(util::Rng& rng) {
+  Model model;
+  const int n = rng.uniform_int(3, 6);
+  const int m = rng.uniform_int(3, 6);
+  std::vector<lp::Var> vars;
+  std::vector<double> x0(n);
+  for (int j = 0; j < n; ++j) {
+    vars.push_back(model.add_var("x" + std::to_string(j), -5.0, 5.0));
+    x0[j] = rng.uniform(-4.0, 4.0);
+  }
+  std::vector<double> base(n);
+  for (int j = 0; j < n; ++j) base[j] = rng.uniform(-3.0, 3.0);
+  for (int r = 0; r < m; ++r) {
+    const double lambda = rng.uniform(0.5, 2.0);
+    const double eps = std::pow(10.0, -rng.uniform(1.0, 7.0));
+    lp::LinExpr expr;
+    double activity = 0.0;
+    for (int j = 0; j < n; ++j) {
+      base[j] = lambda * base[j] + eps * rng.uniform(-1.0, 1.0);
+      expr.add_term(vars[j], base[j]);
+      activity += base[j] * x0[j];
+    }
+    if (rng.bernoulli(0.5)) {
+      model.add_constraint(expr <= lp::LinExpr(activity +
+                                               rng.uniform(0.0, 2.0)));
+    } else {
+      model.add_constraint(expr >= lp::LinExpr(activity -
+                                               rng.uniform(0.0, 2.0)));
+    }
+  }
+  lp::LinExpr obj;
+  for (int j = 0; j < n; ++j) obj.add_term(vars[j], rng.uniform(-2.0, 2.0));
+  model.set_objective(rng.bernoulli(0.5) ? ObjSense::Minimize
+                                         : ObjSense::Maximize,
+                      obj);
+  return model;
+}
+
+/// Singleton-heavy columns: most structural columns touch exactly one
+/// row (the shape presolve-reduced big-M models leave behind), plus a
+/// couple of dense coupling columns. The sparse LU should pivot the
+/// singletons essentially for free; the differential checks it does so
+/// *correctly*.
+Model make_singleton_heavy_lp(util::Rng& rng) {
+  Model model;
+  const int m = rng.uniform_int(2, 5);
+  const int singles = rng.uniform_int(m, 2 * m);
+  const int dense = rng.uniform_int(1, 2);
+  std::vector<lp::Var> vars;
+  for (int j = 0; j < singles + dense; ++j) {
+    vars.push_back(model.add_var("x" + std::to_string(j), 0.0, 8.0));
+  }
+  std::vector<lp::LinExpr> rows(m);
+  std::vector<double> activity(m, 0.0);
+  for (int j = 0; j < singles; ++j) {
+    const int r = rng.uniform_int(0, m - 1);
+    const double coef = rng.uniform(0.5, 4.0) * (rng.bernoulli(0.5) ? 1 : -1);
+    rows[r].add_term(vars[j], coef);
+    activity[r] += coef * 2.0;  // reference point x0 = 2 everywhere
+  }
+  for (int j = singles; j < singles + dense; ++j) {
+    for (int r = 0; r < m; ++r) {
+      const double coef = rng.uniform(-3.0, 3.0);
+      rows[r].add_term(vars[j], coef);
+      activity[r] += coef * 2.0;
+    }
+  }
+  for (int r = 0; r < m; ++r) {
+    if (rng.bernoulli(0.5)) {
+      model.add_constraint(rows[r] <=
+                           lp::LinExpr(activity[r] + rng.uniform(0.0, 3.0)));
+    } else {
+      model.add_constraint(rows[r] >=
+                           lp::LinExpr(activity[r] - rng.uniform(0.0, 3.0)));
+    }
+  }
+  lp::LinExpr obj;
+  for (std::size_t j = 0; j < vars.size(); ++j) {
+    obj.add_term(vars[j], rng.uniform(-2.0, 2.0));
+  }
+  model.set_objective(rng.bernoulli(0.5) ? ObjSense::Minimize
+                                         : ObjSense::Maximize,
+                      obj);
+  return model;
+}
+
+/// Totally-unimodular min-cost flow: node-arc incidence equality rows
+/// (every entry 0/±1), a Hamiltonian cycle for guaranteed feasibility
+/// plus random chords, one source/sink pair. Every basis is a spanning
+/// tree with determinant ±1 — integral vertices, heavy degeneracy when
+/// arc capacities tie.
+Model make_unimodular_flow_lp(util::Rng& rng) {
+  Model model;
+  const int nodes = rng.uniform_int(3, 6);
+  struct Arc { int from, to; };
+  std::vector<Arc> arcs;
+  for (int v = 0; v < nodes; ++v) arcs.push_back({v, (v + 1) % nodes});
+  const int chords = rng.uniform_int(0, nodes);
+  for (int c = 0; c < chords; ++c) {
+    const int u = rng.uniform_int(0, nodes - 1);
+    const int v = rng.uniform_int(0, nodes - 1);
+    if (u != v) arcs.push_back({u, v});
+  }
+  std::vector<lp::Var> flow;
+  lp::LinExpr obj;
+  for (std::size_t a = 0; a < arcs.size(); ++a) {
+    // Integer capacities on purpose: ties everywhere.
+    flow.push_back(model.add_var("f" + std::to_string(a), 0.0,
+                                 static_cast<double>(rng.uniform_int(3, 10))));
+    obj.add_term(flow[a], static_cast<double>(rng.uniform_int(-5, 5)));
+  }
+  const int source = 0;
+  const int sink = rng.uniform_int(1, nodes - 1);
+  const double supply = static_cast<double>(rng.uniform_int(0, 3));
+  for (int v = 0; v < nodes; ++v) {
+    lp::LinExpr balance;
+    for (std::size_t a = 0; a < arcs.size(); ++a) {
+      if (arcs[a].from == v) balance.add_term(flow[a], 1.0);
+      if (arcs[a].to == v) balance.add_term(flow[a], -1.0);
+    }
+    const double rhs = v == source ? supply : (v == sink ? -supply : 0.0);
+    model.add_constraint(balance == lp::LinExpr(rhs));
+  }
+  model.set_objective(ObjSense::Minimize, obj);
+  return model;
+}
+
 /// Statuses that must match across solver paths. IterationLimit /
 /// TimeLimit never trigger at these sizes; anything else is a bug.
 bool terminal(SolveStatus s) {
@@ -205,6 +399,7 @@ TEST(SimplexFuzz, WarmAndColdAgreeWithTableauAndCertifier) {
   int warm_attempts = 0;
   int tableau_fallbacks = 0;
 
+  const int kInstances = instance_count();
   for (int i = 0; i < kInstances; ++i) {
     SCOPED_TRACE("instance " + std::to_string(i) + " (root seed " +
                  std::to_string(seed) + ")");
@@ -363,6 +558,106 @@ TEST(SimplexFuzz, ConcurrentWarmSolvesFromSharedBasisBitIdentical) {
   // The family is Optimal-heavy; if the loop stopped exercising the
   // concurrent path the test would silently go vacuous.
   EXPECT_GT(exercised, kConcurrentInstances / 3);
+}
+
+TEST(SimplexFuzz, HostileFamiliesSparseDenseTableauDifferential) {
+  const std::uint64_t seed = root_seed();
+  std::printf("[simplex_fuzz] hostile root seed = %llu\n",
+              static_cast<unsigned long long>(seed));
+  lp::SimplexOptions opt;
+  opt.want_duals = true;
+  opt.certify = false;
+  const lp::SimplexSolver solver(opt);
+
+  struct Family {
+    const char* name;
+    Model (*make)(util::Rng&);
+  };
+  const Family families[] = {
+      {"degenerate_rhs", make_degenerate_rhs_lp},
+      {"near_singular", make_near_singular_lp},
+      {"singleton_heavy", make_singleton_heavy_lp},
+      {"unimodular_flow", make_unimodular_flow_lp},
+  };
+  const int per_family = std::max(instance_count() / 4, 10);
+
+  int optimal_roots = 0;
+  int warm_pairs = 0;
+  for (std::size_t fi = 0; fi < std::size(families); ++fi) {
+    const Family& family = families[fi];
+    for (int i = 0; i < per_family; ++i) {
+      SCOPED_TRACE(std::string(family.name) + " instance " +
+                   std::to_string(i) + " (root seed " + std::to_string(seed) +
+                   ")");
+      util::Rng rng(util::derive_seed(
+          seed, 200000 + fi * 1000000 + static_cast<std::uint64_t>(i)));
+      const Model model = family.make(rng);
+      std::vector<double> lb, ub;
+      collect_bounds(model, lb, ub);
+
+      // Three-way root differential: tableau is the reference, both
+      // revised-factor backends must reproduce it.
+      const Solution ref = solver.solve_with_bounds(model, lb, ub);
+      ASSERT_TRUE(terminal(ref.status));
+      certify_optimal(model, ref, lb, ub, "tableau root");
+
+      lp::WarmStartContext sparse_ctx(model, lp::FactorKind::SparseLU);
+      const Solution cold_sparse =
+          solver.solve_with_bounds(model, lb, ub, sparse_ctx);
+      expect_same_answer(cold_sparse, ref, "cold sparse vs tableau");
+      certify_optimal(model, cold_sparse, lb, ub, "cold sparse root");
+
+      lp::WarmStartContext dense_ctx(model, lp::FactorKind::DenseInverse);
+      const Solution cold_dense =
+          solver.solve_with_bounds(model, lb, ub, dense_ctx);
+      expect_same_answer(cold_dense, ref, "cold dense vs tableau");
+      certify_optimal(model, cold_dense, lb, ub, "cold dense root");
+
+      const std::shared_ptr<const lp::Basis> sparse_basis =
+          sparse_ctx.take_result();
+      const std::shared_ptr<const lp::Basis> dense_basis =
+          dense_ctx.take_result();
+      if (cold_sparse.status != SolveStatus::Optimal) continue;
+      ++optimal_roots;
+      if (sparse_basis == nullptr || dense_basis == nullptr) continue;
+
+      // Warm child re-solve, sparse vs dense, each from its own root
+      // basis, both against an independent tableau solve of the child.
+      std::vector<double> clb = lb, cub = ub;
+      tighten_child_bounds(rng, cold_sparse, clb, cub);
+      bool empty_box = false;
+      for (std::size_t v = 0; v < clb.size(); ++v) {
+        if (clb[v] > cub[v]) empty_box = true;
+      }
+      if (empty_box) continue;
+
+      const Solution child_ref = solver.solve_with_bounds(model, clb, cub);
+      ASSERT_TRUE(terminal(child_ref.status));
+
+      sparse_ctx.hint = sparse_basis.get();
+      const Solution child_sparse =
+          solver.solve_with_bounds(model, clb, cub, sparse_ctx);
+      expect_same_answer(child_sparse, child_ref, "warm sparse child");
+      certify_optimal(model, child_sparse, clb, cub, "warm sparse child");
+
+      dense_ctx.hint = dense_basis.get();
+      const Solution child_dense =
+          solver.solve_with_bounds(model, clb, cub, dense_ctx);
+      expect_same_answer(child_dense, child_ref, "warm dense child");
+      certify_optimal(model, child_dense, clb, cub, "warm dense child");
+      ++warm_pairs;
+    }
+  }
+  std::printf(
+      "[simplex_fuzz] hostile: %d optimal roots, %d warm sparse/dense "
+      "pairs over %d instances/family\n",
+      optimal_roots, warm_pairs, per_family);
+  // Feasible-biased generators: if Optimal stops dominating, the
+  // families regressed into vacuous coverage.
+  const int total =
+      per_family * static_cast<int>(std::size(families));
+  EXPECT_GT(optimal_roots, total / 3);
+  EXPECT_GT(warm_pairs, total / 6);
 }
 
 }  // namespace

@@ -62,6 +62,8 @@
 //   --mip-threads N    B&B worker threads (find/bound; default 1;
 //                      sweep jobs take mip-threads= in the spec instead,
 //                      and clamp to 1 when the sweep itself is parallel)
+//   --pricing RULE     simplex pricing: partial (default) | dantzig |
+//                      steepest (Devex reference weights)
 //   --certify          independently certify every solve (find/bound)
 //   --csv FILE         append a result row to FILE
 //
@@ -138,6 +140,18 @@ Args parse_args(int argc, char** argv) {
     }
   }
   return args;
+}
+
+/// --pricing partial|dantzig|steepest (default partial). Unknown names
+/// fall back to the default with a warning rather than failing the run.
+lp::Pricing parse_pricing(const Args& args) {
+  const std::string name = args.get("pricing", "partial");
+  if (name == "partial") return lp::Pricing::Partial;
+  if (name == "dantzig") return lp::Pricing::Dantzig;
+  if (name == "steepest") return lp::Pricing::SteepestEdge;
+  std::fprintf(stderr, "unknown --pricing '%s' (want partial|dantzig|steepest); using partial\n",
+               name.c_str());
+  return lp::Pricing::Partial;
 }
 
 net::Topology load_topology(const std::string& spec) {
@@ -234,6 +248,7 @@ int cmd_find(const Args& args) {
   options.budget_seconds = args.get_num("budget", 30.0);
   options.mip_threads =
       std::max(1, static_cast<int>(args.get_num("mip-threads", 1)));
+  options.pricing = parse_pricing(args);
   options.certify = args.flags.count("certify") > 0;
   options.seed_search_seconds = options.budget_seconds * 0.3;
 
@@ -283,6 +298,7 @@ int cmd_bound(const Args& args) {
   options.mip.time_limit_seconds = args.get_num("budget", 30.0);
   options.mip.threads =
       std::max(1, static_cast<int>(args.get_num("mip-threads", 1)));
+  options.mip.lp.pricing = parse_pricing(args);
   if (args.flags.count("certify") > 0) {
     options.mip.certify = true;
     options.mip.lp.certify = true;
@@ -612,6 +628,12 @@ void print_help(std::FILE* out) {
   }
   std::fprintf(out, "core-minimizer strategies: %s\n", strategies.c_str());
   std::fputs(
+      "\ncommon solver options:\n"
+      "  --mip-threads N       B&B worker threads (answers are\n"
+      "                        thread-count-invariant)\n"
+      "  --pricing RULE        node-LP pricing: partial (default),\n"
+      "                        dantzig, steepest\n"
+      "  --certify             independently certify every solve\n"
       "\nsee the header of tools/metaopt_cli.cpp for all options\n", out);
 }
 
