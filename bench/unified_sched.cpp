@@ -1,0 +1,160 @@
+// Unified-scheduler bench: joint sweep + nested-B&B parallelism through
+// the one process-wide work-stealing pool.
+//
+// Workload: the Fig. 1 DP worst-case grid (three pinning thresholds x
+// two seeds, solved to proven optimality, black-box seeding disabled)
+// run twice as a SweepRunner campaign — once fully serial (sweep width
+// 1, mip-threads 1) and once with nested parallelism (sweep width 4,
+// mip-threads 3). Under the old two-pool design the second
+// configuration was impossible: the oversubscription clamp forced every
+// inner B&B serial, and honoring it would have spawned 4 x 3 threads.
+// The unified scheduler runs it on max(4, 3) workers, stealing between
+// sweep jobs (deque backs, FIFO) and B&B node tasks (deque fronts,
+// LIFO).
+//
+// Correctness gate first, throughput second: the stripped JSONL payload
+// (wall-time fields removed) must be byte-identical between the two
+// configurations — the determinism contract survives nesting — and the
+// bench aborts on any mismatch. On hosts with >= 4 hardware threads the
+// joint configuration must also beat the serial one on wall clock; on
+// smaller hosts (CI containers are often single-core) the speedup is
+// reported but not asserted, since oversubscribed workers cannot win.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "domains/domains.h"
+#include "runner/scheduler.h"
+#include "runner/sweep_runner.h"
+#include "runner/sweep_spec.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace metaopt;
+
+runner::SweepSpec make_spec() {
+  runner::SweepSpec spec;
+  spec.topologies = {"fig1"};
+  spec.heuristics = {runner::Heuristic::Dp};
+  spec.thresholds = {25.0, 50.0, 100.0};
+  spec.seeds = {1, 2};
+  spec.demand_ub = 200.0;
+  spec.budget_seconds = bench::scaled(120.0);
+  spec.deterministic = true;  // byte-identical reruns are the gate
+  return spec;
+}
+
+runner::SweepReport run_campaign(int sweep_threads, int mip_threads) {
+  runner::SweepSpec spec = make_spec();
+  spec.mip_threads = mip_threads;
+  runner::SweepOptions options;
+  options.threads = sweep_threads;
+  options.log_progress = false;
+  return runner::SweepRunner(options).run(spec);
+}
+
+// Truncates each record at the wall-time fields: everything from
+// "solve_seconds" on (including the obs "metrics" object this bench
+// enables) is the documented strip-suffix zone; the prefix is the
+// deterministic payload.
+std::string strip_suffix_zone(const std::string& jsonl) {
+  std::string out;
+  std::size_t start = 0;
+  while (start < jsonl.size()) {
+    std::size_t end = jsonl.find('\n', start);
+    if (end == std::string::npos) end = jsonl.size();
+    std::string line = jsonl.substr(start, end - start);
+    if (const std::size_t cut = line.find(",\"solve_seconds\":");
+        cut != std::string::npos) {
+      line.erase(cut);
+      line += "}";
+    }
+    out += line;
+    out += '\n';
+    start = end + 1;
+  }
+  return out;
+}
+
+void UnifiedSched(benchmark::State& state) {
+  domains::register_builtin();
+  const unsigned hw = std::thread::hardware_concurrency();
+  const bool assert_speedup = hw >= 4;
+  const int sweep_threads = 4;
+  const int mip_threads = 3;
+
+  const obs::MetricsSnapshot obs_baseline = bench::obs_begin();
+  util::Stopwatch bench_watch;
+  std::vector<double> serial_walls, joint_walls, job_walls_serial,
+      job_walls_joint;
+  double speedup = 0.0;
+  for (auto _ : state) {
+    const runner::SweepReport serial = run_campaign(1, 1);
+    const runner::SweepReport joint = run_campaign(sweep_threads, mip_threads);
+    if (serial.num_ok != static_cast<int>(serial.jobs.size()) ||
+        joint.num_ok != static_cast<int>(joint.jobs.size())) {
+      std::fprintf(stderr, "FATAL: campaign failures (serial %d/%zu ok, "
+                           "joint %d/%zu ok)\n",
+                   serial.num_ok, serial.jobs.size(), joint.num_ok,
+                   joint.jobs.size());
+      std::abort();
+    }
+    // The determinism gate: nested parallelism through the shared
+    // scheduler must not change a single payload byte.
+    if (strip_suffix_zone(serial.jsonl()) != strip_suffix_zone(joint.jsonl())) {
+      std::fprintf(stderr,
+                   "FATAL: joint-parallel sweep payload differs from the "
+                   "serial one — the determinism contract broke\n");
+      std::abort();
+    }
+    serial_walls.push_back(serial.wall_seconds);
+    joint_walls.push_back(joint.wall_seconds);
+    for (const runner::JobResult& job : serial.jobs) {
+      job_walls_serial.push_back(job.wall_seconds);
+    }
+    for (const runner::JobResult& job : joint.jobs) {
+      job_walls_joint.push_back(job.wall_seconds);
+    }
+    speedup = serial.wall_seconds / std::max(joint.wall_seconds, 1e-9);
+
+    auto out = bench::csv("unified_sched");
+    out.row("unified_sched", "serial", 1.0, serial.wall_seconds, "wall");
+    out.row("unified_sched", "joint", 1.0, joint.wall_seconds, "wall");
+  }
+  state.counters["speedup"] = speedup;
+  state.counters["sweep_threads"] = static_cast<double>(sweep_threads);
+  state.counters["mip_threads"] = static_cast<double>(mip_threads);
+  state.counters["pool_width"] =
+      static_cast<double>(runner::Scheduler::global().num_threads());
+  if (assert_speedup && speedup <= 1.0) {
+    std::fprintf(stderr,
+                 "FATAL: joint sweep+B&B parallelism slower than serial on "
+                 "a %u-way host (speedup %.3f)\n",
+                 hw, speedup);
+    std::abort();
+  }
+  bench::write_bench_report(
+      "unified_sched", obs_baseline, bench_watch.seconds(),
+      {{"scale", std::to_string(bench::budget_scale())},
+       {"sweep_threads", std::to_string(sweep_threads)},
+       {"mip_threads", std::to_string(mip_threads)},
+       {"hardware_concurrency", std::to_string(hw)},
+       {"speedup", std::to_string(speedup)}},
+      {{"serial_wall_seconds", serial_walls},
+       {"joint_wall_seconds", joint_walls},
+       {"job_wall_seconds_serial", job_walls_serial},
+       {"job_wall_seconds_joint", job_walls_joint}});
+}
+
+BENCHMARK(UnifiedSched)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

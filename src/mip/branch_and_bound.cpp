@@ -17,6 +17,7 @@
 #include "lp/presolve.h"
 #include "lp/revised_simplex.h"
 #include "obs/obs.h"
+#include "runner/scheduler.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/stopwatch.h"
@@ -622,12 +623,12 @@ void TreeSearch::worker_loop() {
 }
 
 void TreeSearch::worker_main(std::uint64_t obs_group, int threads) {
-  // Workers inherit the spawner's obs shard group so per-job metric
-  // attribution (SweepRunner) sees their counts — the permanent form,
-  // because spawned workers die before the spawner snapshots the group
-  // — and mark themselves as parallel workers so nothing they call
-  // fans out again.
-  obs::adopt_shard_group(obs_group);
+  // Helpers can land on persistent scheduler workers, so the spawner's
+  // obs shard group is adopted with a *fresh* shard (ScopedWorkerShard):
+  // per-job metric attribution (SweepRunner) sees their counts without
+  // the worker's history bleeding into the job's snapshot diff. A no-op
+  // on the spawning thread itself, which is already in the group.
+  const obs::ScopedWorkerShard shard(obs_group);
   const util::ScopedParallelWorker region(threads);
   try {
     worker_loop();
@@ -658,15 +659,29 @@ Solution TreeSearch::run(int threads) {
 
   queue_.push(QueueEntry{root_score_, seq_++, nullptr});
 
-  const std::uint64_t obs_group = obs::current_group();
-  std::vector<std::thread> extra;
-  extra.reserve(static_cast<std::size_t>(threads - 1));
-  for (int w = 1; w < threads; ++w) {
-    extra.emplace_back(
-        [this, obs_group, threads] { worker_main(obs_group, threads); });
-  }
   if (threads > 1) {
+    // Helper workers are shared-scheduler tasks, not owned threads: the
+    // pool is grown to at least `threads` (max over components, never a
+    // product — a sweep's width does not multiply with ours), helpers
+    // are tagged one depth below the current task so nested B&B work
+    // sits at the hot front of the submitting worker's deque, and
+    // join() runs still-unclaimed helpers inline, so even a 1-worker
+    // scheduler whose only worker is this caller cannot deadlock. Late
+    // helpers are cheap: worker_loop() exits as soon as the queue is
+    // empty with nothing in flight.
+    const std::uint64_t obs_group = obs::current_group();
+    runner::Scheduler& sched = runner::Scheduler::global();
+    sched.ensure_threads(threads);
+    const int helper_depth = util::task_depth() + 1;
+    std::vector<runner::TaskHandle> helpers;
+    helpers.reserve(static_cast<std::size_t>(threads - 1));
+    for (int w = 1; w < threads; ++w) {
+      helpers.push_back(sched.submit(
+          [this, obs_group, threads] { worker_main(obs_group, threads); },
+          helper_depth));
+    }
     worker_main(obs_group, threads);
+    for (const runner::TaskHandle& h : helpers) sched.join(h);
   } else {
     // Serial fast path: same worker code, no region marker to maintain.
     try {
@@ -676,7 +691,6 @@ Solution TreeSearch::run(int threads) {
       if (!worker_error_) worker_error_ = std::current_exception();
     }
   }
-  for (std::thread& t : extra) t.join();
   if (worker_error_) std::rethrow_exception(worker_error_);
 
   // ---- assemble the Solution (single-threaded from here on).
@@ -749,16 +763,14 @@ Solution BranchAndBound::solve(const Model& model,
     }
   }
 
-  int threads = std::max(1, options_.threads);
-  if (threads > 1 && util::parallel_region_width() > 1) {
-    // Already inside someone else's worker pool (e.g. a SweepRunner
-    // job): spawning our own workers would oversubscribe the machine
-    // N_jobs x N_mip_threads. The outer layer owns the parallelism.
-    MO_LOG(Info) << "B&B: clamping threads " << threads
-                 << " -> 1 inside a parallel region of width "
-                 << util::parallel_region_width();
-    threads = 1;
-  }
+  // No oversubscription clamp anymore: helper workers come from the
+  // process-wide scheduler, whose size is the max of every component's
+  // request — running inside a sweep worker adds zero threads beyond
+  // max(sweep width, mip threads). (The old clamp forced threads = 1
+  // inside any parallel region, and silently failed to fire when a job
+  // body moved the solve to a helper thread the region marker never
+  // reached; the shared pool bounds those paths structurally.)
+  const int threads = std::max(1, options_.threads);
   g_threads.set(static_cast<double>(threads));
 
   TreeSearch search(model, options_, callbacks);

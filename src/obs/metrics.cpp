@@ -65,15 +65,26 @@ int register_metric(const std::string& name, MetricKind kind, int* next,
 
 }  // namespace
 
+namespace {
+
+ThreadBlock* new_registered_block() {
+  auto owned = std::make_unique<ThreadBlock>();
+  ThreadBlock* raw = owned.get();
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.blocks.push_back(std::move(owned));
+  return raw;
+}
+
+/// When non-null, updates on this thread land in the override block
+/// instead of its own shard — see ScopedWorkerShard.
+thread_local ThreadBlock* t_block_override = nullptr;
+
+}  // namespace
+
 ThreadBlock& tls_block() {
-  thread_local ThreadBlock* block = [] {
-    auto owned = std::make_unique<ThreadBlock>();
-    ThreadBlock* raw = owned.get();
-    Registry& reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mutex);
-    reg.blocks.push_back(std::move(owned));
-    return raw;
-  }();
+  if (t_block_override != nullptr) return *t_block_override;
+  thread_local ThreadBlock* block = new_registered_block();
   return *block;
 }
 
@@ -240,6 +251,21 @@ ScopedShardGroup::ScopedShardGroup(std::uint64_t adopt) : id_(adopt) {
 ScopedShardGroup::~ScopedShardGroup() {
   detail::tls_block().group.store(prev_, std::memory_order_relaxed);
 }
+
+ScopedWorkerShard::ScopedWorkerShard(std::uint64_t id)
+    : prev_(detail::t_block_override) {
+  if constexpr (!kCompiledIn) return;
+  if (id == 0 ||
+      detail::tls_block().group.load(std::memory_order_relaxed) == id) {
+    // Already attributed correctly; no fresh block needed.
+    return;
+  }
+  detail::ThreadBlock* fresh = detail::new_registered_block();
+  fresh->group.store(id, std::memory_order_relaxed);
+  detail::t_block_override = fresh;
+}
+
+ScopedWorkerShard::~ScopedWorkerShard() { detail::t_block_override = prev_; }
 
 MetricsSnapshot snapshot() {
   return detail::snapshot_blocks(detail::SnapshotScope::All);

@@ -214,6 +214,40 @@ class ScopedShardGroup {
   std::uint64_t prev_ = 0;
 };
 
+/// RAII shard-group membership for a *persistent* pool worker lending a
+/// hand to someone else's job.
+///
+/// Neither existing form fits a worker that outlives jobs:
+/// adopt_shard_group() tags the worker's shard forever (later jobs'
+/// counts would leak into the old group), and ScopedShardGroup re-tags
+/// the worker's one shard — whose *cumulative history* would then be
+/// summed into the job's closing snapshot_group() but not its opening
+/// one, over-attributing every count the worker ever recorded.
+///
+/// This form instead routes the scope's updates to a brand-new shard
+/// block tagged with `id`. The fresh block holds exactly the counts
+/// recorded inside the scope; it did not exist at the job's opening
+/// snapshot and — blocks are never freed, ids never reused — it is
+/// summed in full by the closing one, which is precisely the delta the
+/// job should see. The worker's own shard (and its tag) are untouched.
+/// Cost: one ThreadBlock allocation per adoption, the same price the
+/// spawn-a-thread-per-job pattern always paid.
+///
+/// Adopting id 0 (no group) or the group the thread is already in is a
+/// no-op: counts keep flowing to the current shard, which the target
+/// snapshot already covers.
+class ScopedWorkerShard {
+ public:
+  explicit ScopedWorkerShard(std::uint64_t id);
+  ~ScopedWorkerShard();
+
+  ScopedWorkerShard(const ScopedWorkerShard&) = delete;
+  ScopedWorkerShard& operator=(const ScopedWorkerShard&) = delete;
+
+ private:
+  detail::ThreadBlock* prev_ = nullptr;
+};
+
 /// Sums every thread shard (including threads that have exited).
 MetricsSnapshot snapshot();
 /// The calling thread's shard only.

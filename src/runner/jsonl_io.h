@@ -54,6 +54,16 @@ struct JobRecord {
 /// fields get that field's default rather than failing the file.
 std::vector<JobRecord> read_sweep_jsonl(const std::string& path);
 
+/// Recombines per-shard sweep JSONL files into one campaign document:
+/// raw record lines, stable-sorted by job id, newline-terminated —
+/// byte-identical to the unsharded run's SweepReport::jsonl() because
+/// shards never re-serialize (lines are moved, not parsed-and-printed;
+/// parsing happens only to extract the id). Throws std::runtime_error on
+/// an unreadable file, a malformed line, a record without a "job" id, or
+/// a job id appearing in more than one shard (overlapping shards would
+/// silently double-count).
+std::string merge_shard_jsonl(const std::vector<std::string>& paths);
+
 /// Rebuilds the heur:: registry config this record's job ran under —
 /// the same mapping SweepRunner::execute_job applies to a JobSpec — so
 /// an explain probe re-solves the exact sub-instances the campaign saw

@@ -1,9 +1,12 @@
 #include "runner/sweep_runner.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cinttypes>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <mutex>
 #include <stdexcept>
 #include <utility>
@@ -11,6 +14,7 @@
 #include "obs/obs.h"
 #include "runner/thread_pool.h"
 #include "util/csv.h"
+#include "util/jsonl.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -123,7 +127,9 @@ std::string to_json(const JobResult& r) {
 std::string SweepReport::jsonl() const {
   std::string out;
   for (const JobResult& job : jobs) {
-    out += to_json(job);
+    // Prefer the captured record: for resumed jobs it is the prior
+    // run's bytes verbatim (re-serializing a parsed record could drift).
+    out += job.serialized.empty() ? to_json(job) : job.serialized;
     out += "\n";
   }
   return out;
@@ -143,8 +149,19 @@ void SweepReport::write_csv(const std::string& path,
   if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
   util::CsvWriter out(path, "figure,series,x,y,extra");
   for (const JobResult& job : jobs) {
-    out.row(figure, job.spec.topology + "/" + to_string(job.spec.heuristic),
-            job.spec.axis_value(), job.result.normalized_gap, job.result.gap);
+    // A non-Ok job's result is documented invalid ("valid unless
+    // Failed") — emitting it would plot default-constructed gaps.
+    if (job.status != JobStatus::Ok) continue;
+    // Series naming is family-aware: topology is meaningless for the
+    // bin-packing heuristics (they sweep the items axis), so they get
+    // "<heuristic>/d<dims>" instead of "<topology>/<heuristic>".
+    const std::string series =
+        is_binpack(job.spec.heuristic)
+            ? std::string(to_string(job.spec.heuristic)) + "/d" +
+                  std::to_string(job.spec.dims)
+            : job.spec.topology + "/" + to_string(job.spec.heuristic);
+    out.row(figure, series, job.spec.axis_value(), job.result.normalized_gap,
+            job.result.gap);
   }
 }
 
@@ -174,8 +191,8 @@ heur::GapFindResult SweepRunner::execute_job(const JobSpec& job) {
   heur::FindOptions options;
   options.budget_seconds = job.budget_seconds;
   options.certify = job.certify;
-  // No-op inside a multi-thread sweep pool: the B&B clamps itself back
-  // to 1 when it detects the surrounding parallel region.
+  // B&B helpers come from the shared scheduler: a width-T sweep with
+  // M mip threads runs on max(T, M) workers total, never T x M.
   options.mip_threads = job.mip_threads;
   // The black-box seeding pass is wall-clock budgeted, so its incumbents
   // (and through them the B&B node count) depend on machine load; a
@@ -189,25 +206,240 @@ SweepReport SweepRunner::run(const SweepSpec& spec) const {
   return run_jobs(expand_spec(spec), &SweepRunner::execute_job);
 }
 
+namespace {
+
+std::string fingerprint_hex(std::uint64_t fp) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, fp);
+  return buf;
+}
+
+JobStatus status_from_string(const std::string& s) {
+  if (s == "ok") return JobStatus::Ok;
+  if (s == "timeout") return JobStatus::Timeout;
+  return JobStatus::Failed;
+}
+
+/// Checkpoint sink: append-ordered partial JSONL + atomically rewritten
+/// manifest. All mutation happens under the runner's progress mutex.
+struct Checkpoint {
+  bool enabled = false;
+  std::string manifest_path;
+  std::string partial_path;
+  std::ofstream partial;
+  std::vector<int> done_ids;
+  int since_write = 0;
+};
+
+void write_manifest(Checkpoint& ckpt, std::uint64_t fingerprint,
+                    int shard_index, int shard_count, int total_jobs) {
+  // Flush the partial stream first: the manifest must never list a job
+  // whose record is not durably in the partial file.
+  ckpt.partial.flush();
+  std::vector<int> done = ckpt.done_ids;
+  std::sort(done.begin(), done.end());
+  std::string doc = "{\"version\":1";
+  doc += ",\"fingerprint\":\"" + fingerprint_hex(fingerprint) + "\"";
+  doc += ",\"shard_index\":" + std::to_string(shard_index);
+  doc += ",\"shard_count\":" + std::to_string(shard_count);
+  doc += ",\"total_jobs\":" + std::to_string(total_jobs);
+  doc += ",\"partial_jsonl\":" + json_string(ckpt.partial_path);
+  doc += ",\"done\":[";
+  for (std::size_t k = 0; k < done.size(); ++k) {
+    if (k > 0) doc += ",";
+    doc += std::to_string(done[k]);
+  }
+  doc += "]}\n";
+  // Atomic replace: a kill mid-write leaves the previous manifest
+  // intact, never a truncated one.
+  const std::string tmp = ckpt.manifest_path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open " + tmp);
+    out << doc;
+  }
+  std::filesystem::rename(tmp, ckpt.manifest_path);
+}
+
+/// What a resume manifest yields: the verbatim record line per done id.
+struct ResumeState {
+  std::map<int, std::string> lines;
+  std::string partial_path;
+};
+
+ResumeState load_resume(const std::string& manifest_path,
+                        std::uint64_t fingerprint, int shard_index,
+                        int shard_count) {
+  std::ifstream in(manifest_path);
+  if (!in) {
+    throw std::runtime_error("cannot open resume manifest " + manifest_path);
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const util::JsonValue doc = util::parse_json(text);
+  if (doc.number_or("version", 0) != 1) {
+    throw std::runtime_error("resume manifest " + manifest_path +
+                             ": unsupported version");
+  }
+  if (doc.string_or("fingerprint", "") != fingerprint_hex(fingerprint)) {
+    throw std::runtime_error(
+        "resume manifest " + manifest_path +
+        ": spec fingerprint mismatch — the campaign differs from the one "
+        "that wrote this checkpoint");
+  }
+  if (static_cast<int>(doc.number_or("shard_index", -1)) != shard_index ||
+      static_cast<int>(doc.number_or("shard_count", -1)) != shard_count) {
+    throw std::runtime_error("resume manifest " + manifest_path +
+                             ": shard coordinates mismatch");
+  }
+  ResumeState state;
+  state.partial_path = doc.string_or("partial_jsonl", "");
+  std::vector<int> done;
+  if (const util::JsonValue* arr = doc.find("done");
+      arr != nullptr && arr->is_array()) {
+    done.reserve(arr->as_array().size());
+    for (const util::JsonValue& v : arr->as_array()) {
+      done.push_back(static_cast<int>(v.as_number()));
+    }
+  }
+  if (done.empty()) return state;
+
+  // The partial file is read raw, line by line: resumed records are
+  // carried over verbatim, never re-serialized. A job can appear twice
+  // (completed + appended, killed before the manifest caught up, rerun
+  // after resume) — the last line wins. Only manifest-listed ids count:
+  // the manifest is the authority on what completed durably.
+  std::ifstream partial(state.partial_path);
+  if (!partial) {
+    throw std::runtime_error("resume manifest " + manifest_path +
+                             ": cannot open partial JSONL " +
+                             state.partial_path);
+  }
+  std::map<int, std::string> by_id;
+  std::string line;
+  while (std::getline(partial, line)) {
+    if (line.empty()) continue;
+    const util::JsonValue rec = util::parse_json(line);
+    by_id[static_cast<int>(rec.number_or("job", -1))] = line;
+  }
+  for (const int id : done) {
+    const auto it = by_id.find(id);
+    if (it == by_id.end()) {
+      throw std::runtime_error(
+          "resume manifest " + manifest_path + ": job " + std::to_string(id) +
+          " is marked done but has no record in " + state.partial_path);
+    }
+    state.lines.emplace(id, it->second);
+  }
+  return state;
+}
+
+}  // namespace
+
 SweepReport SweepRunner::run_jobs(const std::vector<JobSpec>& jobs,
                                   const JobFn& fn) const {
   util::Stopwatch campaign_watch;
+  if (options_.shard_count < 1 || options_.shard_index < 0 ||
+      options_.shard_index >= options_.shard_count) {
+    throw std::invalid_argument("sweep shard: index " +
+                                std::to_string(options_.shard_index) +
+                                " out of range for count " +
+                                std::to_string(options_.shard_count));
+  }
+  // Fingerprint over the *full* expansion, then filter: ids and derived
+  // stream seeds are fixed before sharding, so every shard agrees on
+  // the fingerprint and merged output is byte-identical to unsharded.
+  const std::uint64_t fingerprint = jobs_fingerprint(jobs);
+  std::vector<JobSpec> mine;
+  mine.reserve(jobs.size() / static_cast<std::size_t>(options_.shard_count) +
+               1);
+  for (const JobSpec& job : jobs) {
+    if (job.id % options_.shard_count == options_.shard_index) {
+      mine.push_back(job);
+    }
+  }
+
   SweepReport report;
-  report.jobs.resize(jobs.size());
+  report.jobs.resize(mine.size());
+
+  ResumeState resume;
+  if (!options_.resume_manifest.empty()) {
+    resume = load_resume(options_.resume_manifest, fingerprint,
+                         options_.shard_index, options_.shard_count);
+  }
+
+  Checkpoint ckpt;
+  ckpt.manifest_path = options_.checkpoint_path.empty()
+                           ? options_.resume_manifest
+                           : options_.checkpoint_path;
+  ckpt.enabled = !ckpt.manifest_path.empty();
+  if (ckpt.enabled) {
+    ckpt.partial_path = ckpt.manifest_path + ".partial.jsonl";
+    const std::filesystem::path p(ckpt.manifest_path);
+    if (p.has_parent_path()) {
+      std::filesystem::create_directories(p.parent_path());
+    }
+    if (ckpt.partial_path == resume.partial_path) {
+      // Continuing the checkpoint we resumed from: keep its records.
+      ckpt.partial.open(ckpt.partial_path, std::ios::app);
+    } else {
+      // Fresh checkpoint (or a new path): start clean and seed it with
+      // whatever we resumed, so *this* manifest is self-contained.
+      ckpt.partial.open(ckpt.partial_path, std::ios::trunc);
+      for (const auto& [id, line] : resume.lines) {
+        ckpt.partial << line << '\n';
+      }
+    }
+    if (!ckpt.partial) {
+      throw std::runtime_error("cannot open " + ckpt.partial_path);
+    }
+  }
+
+  // Pre-fill resumed slots; only the rest are submitted to the pool.
+  std::vector<std::size_t> to_run;
+  to_run.reserve(mine.size());
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    const auto it = resume.lines.find(mine[i].id);
+    if (it == resume.lines.end()) {
+      to_run.push_back(i);
+      continue;
+    }
+    JobResult& slot = report.jobs[i];
+    slot.spec = mine[i];
+    slot.serialized = it->second;
+    // Recover the aggregate-relevant fields from the record; the bytes
+    // themselves are already final.
+    const util::JsonValue rec = util::parse_json(it->second);
+    slot.status = status_from_string(rec.string_or("status", "failed"));
+    slot.error = rec.string_or("error", "");
+    slot.result.gap = rec.number_or("gap", 0.0);
+    slot.result.normalized_gap = rec.number_or("norm_gap", 0.0);
+    slot.wall_seconds = rec.number_or("wall_seconds", 0.0);
+    ckpt.done_ids.push_back(mine[i].id);
+    ++report.num_resumed;
+  }
 
   ThreadPool pool(options_.threads);
   report.threads = pool.num_threads();
 
   std::mutex progress_mutex;
+  std::atomic<bool> stopped{false};
   int completed = 0;
-  const int total = static_cast<int>(jobs.size());
+  const int total = static_cast<int>(to_run.size());
 
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
+  for (const std::size_t i : to_run) {
     pool.submit([&, i] {
       // Each job owns slot i outright; only the progress bookkeeping is
       // shared. A throw is contained here — the campaign never dies.
       JobResult& slot = report.jobs[i];
-      slot.spec = jobs[i];
+      slot.spec = mine[i];
+      if (stopped.load(std::memory_order_relaxed)) {
+        // Simulated kill (stop_after): record the skip, keep it out of
+        // the checkpoint so a resume re-executes it.
+        slot.status = JobStatus::Failed;
+        slot.error = "not executed: campaign stopped (stop_after)";
+        return;
+      }
       util::Stopwatch watch;
       // Per-job metric attribution: the job body starts on this worker
       // thread, but may fan out onto its own workers (multi-threaded
@@ -220,7 +452,7 @@ SweepReport SweepRunner::run_jobs(const std::vector<JobSpec>& jobs,
       const obs::MetricsSnapshot before = obs::snapshot_group();
       try {
         MO_SPAN("sweep.job");
-        slot.result = fn(jobs[i]);
+        slot.result = fn(mine[i]);
         // The B&B reports TimeLimit even when it carries a budget-bounded
         // incumbent; only an *incumbent-less* budget exhaustion is a
         // timeout — everything with a genuine adversarial input is ok.
@@ -242,9 +474,22 @@ SweepReport SweepRunner::run_jobs(const std::vector<JobSpec>& jobs,
       }
       slot.wall_seconds = watch.seconds();
       slot.metrics = obs::diff(before, obs::snapshot_group());
+      slot.serialized = to_json(slot);
 
       std::lock_guard<std::mutex> lock(progress_mutex);
       ++completed;
+      if (ckpt.enabled) {
+        ckpt.partial << slot.serialized << '\n';
+        ckpt.done_ids.push_back(slot.spec.id);
+        if (++ckpt.since_write >= std::max(1, options_.checkpoint_every)) {
+          write_manifest(ckpt, fingerprint, options_.shard_index,
+                         options_.shard_count, static_cast<int>(mine.size()));
+          ckpt.since_write = 0;
+        }
+      }
+      if (options_.stop_after > 0 && completed >= options_.stop_after) {
+        stopped.store(true, std::memory_order_relaxed);
+      }
       if (options_.log_progress) {
         MO_LOG(Info) << "[sweep] " << completed << "/" << total << " job "
                      << slot.spec.id << " (" << to_string(slot.spec.heuristic)
@@ -257,6 +502,10 @@ SweepReport SweepRunner::run_jobs(const std::vector<JobSpec>& jobs,
     });
   }
   pool.wait_idle();
+  if (ckpt.enabled) {
+    write_manifest(ckpt, fingerprint, options_.shard_index,
+                   options_.shard_count, static_cast<int>(mine.size()));
+  }
 
   // Slots are already in expansion order (== sorted by job id); keep the
   // sort anyway so custom job lists with shuffled ids aggregate
@@ -276,7 +525,12 @@ SweepReport SweepRunner::run_jobs(const std::vector<JobSpec>& jobs,
   if (options_.log_progress) {
     MO_LOG(Info) << "[sweep] campaign done: " << report.num_ok << " ok, "
                  << report.num_timeout << " timeout, " << report.num_failed
-                 << " failed on " << report.threads << " threads in "
+                 << " failed"
+                 << (report.num_resumed > 0
+                         ? " (" + std::to_string(report.num_resumed) +
+                               " resumed)"
+                         : "")
+                 << " on " << report.threads << " threads in "
                  << report.wall_seconds << "s";
   }
   return report;

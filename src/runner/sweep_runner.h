@@ -48,6 +48,10 @@ struct JobResult {
   /// and then omitted from the JSONL record, so the byte format is
   /// unchanged for existing campaigns.
   obs::MetricsSnapshot metrics;
+  /// The job's JSONL record, exactly as written. Filled at completion;
+  /// a job skipped on --resume carries the *prior run's* line verbatim,
+  /// so resumed output is byte-identical without any float round-trip.
+  std::string serialized;
 };
 
 struct SweepReport {
@@ -55,18 +59,26 @@ struct SweepReport {
   int num_ok = 0;
   int num_timeout = 0;
   int num_failed = 0;
+  /// Jobs skipped because a resume manifest recorded them as done
+  /// (counted into the num_* buckets above by their recorded status).
+  int num_resumed = 0;
   int threads = 1;
   double wall_seconds = 0.0;  ///< whole-campaign wall time
 
-  /// One JSON record per job, newline-terminated, sorted by job id.
+  /// One JSON record per job, newline-terminated, sorted by job id
+  /// (resumed jobs contribute their prior run's bytes verbatim).
   [[nodiscard]] std::string jsonl() const;
 
   /// Writes jsonl() to `path` (parent directories created).
   void write_jsonl(const std::string& path) const;
 
   /// Appends `figure,series,x,y,extra` rows (the existing bench CSV
-  /// shape): series = "<topology>/<heuristic>", x = the swept axis
-  /// (threshold or partitions), y = normalized gap, extra = raw gap.
+  /// shape): series = "<topology>/<heuristic>" for the TE families and
+  /// "<heuristic>/d<dims>" for the bin-packing families (topology is
+  /// meaningless for ffd/ff), x = the swept axis (threshold, partitions
+  /// or items — axis_value()), y = normalized gap, extra = raw gap.
+  /// Non-Ok jobs are skipped: a failed job's result is documented
+  /// invalid and must not serialize garbage gaps into the figure data.
   void write_csv(const std::string& path, const std::string& figure) const;
 };
 
@@ -82,6 +94,36 @@ struct SweepOptions {
   std::function<void(const JobResult&, int, int)> on_progress;
   /// Log one Info line per completed job and a campaign summary.
   bool log_progress = true;
+
+  // ---- sharding (multi-machine campaigns) ----
+  /// This process runs the jobs with id % shard_count == shard_index.
+  /// The partition happens *after* expansion, so job ids and derived
+  /// stream seeds are identical across any shard count — which is what
+  /// makes merged shard output byte-identical to an unsharded run.
+  int shard_index = 0;
+  int shard_count = 1;
+
+  // ---- checkpointing / resume (restartable campaigns) ----
+  /// Manifest path; empty disables checkpointing. Completed records are
+  /// appended to `<checkpoint_path>.partial.jsonl` (completion order),
+  /// and the manifest — spec fingerprint, shard coordinates, done job
+  /// ids, partial path — is atomically rewritten (tmp + rename) every
+  /// `checkpoint_every` completions and once at the end. The partial
+  /// stream is flushed *before* each manifest write, so a manifest
+  /// never lists a job whose bytes are not durably in the partial file.
+  std::string checkpoint_path;
+  int checkpoint_every = 1;
+  /// Manifest to resume from. Jobs it records as done are not
+  /// re-executed; their JSONL lines are carried over verbatim from the
+  /// partial file. Throws if the manifest's fingerprint or shard
+  /// coordinates do not match this campaign (resuming an edited spec
+  /// would silently mix results). Checkpointing continues into
+  /// `checkpoint_path` if set, else into the resumed manifest itself.
+  std::string resume_manifest;
+  /// Testing hook (simulated kill): stop launching jobs after this many
+  /// completions (0 = run everything). Unexecuted jobs are reported
+  /// Failed with a "stopped" error and never enter the checkpoint.
+  int stop_after = 0;
 };
 
 class SweepRunner {
@@ -94,7 +136,9 @@ class SweepRunner {
   [[nodiscard]] SweepReport run(const SweepSpec& spec) const;
 
   /// Executes pre-expanded jobs through a custom job body (tests inject
-  /// throwing/fake jobs here; run() uses execute_job).
+  /// throwing/fake jobs here; run() uses execute_job). The shard filter
+  /// and resume skipping apply to the given list; the fingerprint is
+  /// taken over the full list, pre-filter.
   [[nodiscard]] SweepReport run_jobs(const std::vector<JobSpec>& jobs,
                                      const JobFn& fn) const;
 

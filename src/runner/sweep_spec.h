@@ -79,11 +79,11 @@ struct SweepSpec {
   bool deterministic = true;
   /// Independently certify every solve (check::certify_mip).
   bool certify = false;
-  /// B&B worker threads per job (MipOptions::threads). Only effective
-  /// when the sweep itself runs with one worker thread: inside a wider
-  /// sweep pool the B&B clamps itself back to 1 so sweep x mip threads
-  /// never oversubscribe the machine. Answers are thread-count-invariant
-  /// (see mip/branch_and_bound.h), so this never changes results.
+  /// B&B worker threads per job (MipOptions::threads). Helpers come
+  /// from the shared work-stealing scheduler, so a sweep of width T
+  /// with mip_threads M runs on max(T, M) workers total — never T x M.
+  /// Answers are thread-count-invariant (see mip/branch_and_bound.h),
+  /// so this never changes results.
   int mip_threads = 1;
 
   // ---- campaign shaping ----
@@ -149,5 +149,14 @@ std::vector<JobSpec> expand_spec(const SweepSpec& spec);
 /// every axis. Unknown keys and malformed values throw
 /// std::invalid_argument with the offending token in the message.
 SweepSpec parse_sweep_spec(const std::vector<std::string>& tokens);
+
+/// Order-sensitive fingerprint over every field of every expanded job
+/// (doubles hashed by bit pattern). Two campaigns share a fingerprint
+/// exactly when they would execute identical job lists, which is what a
+/// resume manifest must verify before skipping "already done" ids —
+/// resuming under an edited spec silently mixes results otherwise.
+/// Hash the *full* expansion, pre-shard-filter, so every shard of one
+/// campaign agrees on the fingerprint.
+std::uint64_t jobs_fingerprint(const std::vector<JobSpec>& jobs);
 
 }  // namespace metaopt::runner

@@ -2,128 +2,63 @@
 
 #include <utility>
 
+#include "runner/scheduler.h"
 #include "util/parallel.h"
 
 namespace metaopt::runner {
 
-namespace {
+int ThreadPool::default_threads() { return Scheduler::default_threads(); }
 
-// Identity of the current thread as a worker: the pool it belongs to
-// (nullptr when it is not a worker) and the index of the deque it owns
-// there. Keyed by pool so a worker of pool A submitting to pool B takes
-// the external round-robin path instead of hijacking B's deque at A's
-// index.
-thread_local ThreadPool* t_pool = nullptr;
-thread_local int t_worker_index = -1;
-
-}  // namespace
-
-int ThreadPool::default_threads() {
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
+ThreadPool::ThreadPool(int num_threads)
+    : width_(num_threads > 0 ? num_threads : default_threads()) {
+  Scheduler::global().ensure_threads(width_);
 }
 
-ThreadPool::ThreadPool(int num_threads) {
-  const int n = num_threads > 0 ? num_threads : default_threads();
-  deques_.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) deques_.push_back(std::make_unique<Deque>());
-  workers_.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this, i] { worker_loop(i); });
-  }
-}
-
-ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(wake_mutex_);
-    stop_ = true;
-  }
-  wake_cv_.notify_all();
-  for (std::thread& t : workers_) t.join();
-}
+ThreadPool::~ThreadPool() { wait_idle(); }
 
 void ThreadPool::submit(std::function<void()> task) {
-  const int self = t_pool == this ? t_worker_index : -1;
-  std::size_t target;
-  if (self >= 0) {
-    target = static_cast<std::size_t>(self);
-  } else {
-    target = next_deque_.fetch_add(1) % deques_.size();
+  Pending pending{std::move(task), util::task_depth() + 1};
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++unfinished_;
+  if (in_flight_ < width_) {
+    ++in_flight_;
+    lock.unlock();
+    dispatch(std::move(pending));
+    return;
   }
-  unfinished_.fetch_add(1);
-  {
-    std::lock_guard<std::mutex> lock(deques_[target]->mutex);
-    if (self >= 0) {
-      deques_[target]->tasks.push_front(std::move(task));  // LIFO for owner
-    } else {
-      deques_[target]->tasks.push_back(std::move(task));
-    }
-  }
-  {
-    // Increment under wake_mutex_ so the change is ordered against a
-    // worker's predicate check: without the lock, a worker could see
-    // queued_ == 0, then miss this notify_one before blocking — a lost
-    // wakeup that strands the task (and wait_idle) until the destructor.
-    std::lock_guard<std::mutex> lock(wake_mutex_);
-    queued_.fetch_add(1);
-  }
-  wake_cv_.notify_one();
+  backlog_.push_back(std::move(pending));
 }
 
-bool ThreadPool::try_pop(int self, std::function<void()>& task) {
-  if (queued_.load() == 0) return false;
-  const std::size_t n = deques_.size();
-  // Own deque first (front = most recently pushed by us), then sweep the
-  // siblings and steal from the back (their oldest work) to keep each
-  // owner's hot end undisturbed.
-  for (std::size_t k = 0; k < n; ++k) {
-    const std::size_t i = (static_cast<std::size_t>(self) + k) % n;
-    Deque& q = *deques_[i];
-    std::lock_guard<std::mutex> lock(q.mutex);
-    if (q.tasks.empty()) continue;
-    if (k == 0) {
-      task = std::move(q.tasks.front());
-      q.tasks.pop_front();
-    } else {
-      task = std::move(q.tasks.back());
-      q.tasks.pop_back();
-    }
-    queued_.fetch_sub(1);
-    return true;
-  }
-  return false;
-}
-
-void ThreadPool::worker_loop(int self) {
-  t_pool = this;
-  t_worker_index = self;
-  // Mark this thread as a pool worker so nested components (notably the
-  // parallel B&B inside a sweep job) clamp their own thread counts
-  // instead of oversubscribing the machine. A 1-thread pool does not
-  // inhibit nested parallelism.
-  const util::ScopedParallelWorker region(
-      static_cast<int>(deques_.size()));
-  for (;;) {
-    std::function<void()> task;
-    if (try_pop(self, task)) {
-      task();
-      if (unfinished_.fetch_sub(1) == 1) {
-        // Take the lock before notifying so a waiter that just checked
-        // the predicate cannot miss the wakeup.
-        std::lock_guard<std::mutex> lock(wake_mutex_);
-        idle_cv_.notify_all();
-      }
-      continue;
-    }
-    std::unique_lock<std::mutex> lock(wake_mutex_);
-    wake_cv_.wait(lock, [this] { return stop_ || queued_.load() > 0; });
-    if (stop_ && queued_.load() == 0) return;
-  }
+void ThreadPool::dispatch(Pending task) {
+  const int depth = task.depth;
+  Scheduler::global().submit(
+      [this, fn = std::move(task.fn)]() mutable {
+        fn();
+        fn = nullptr;  // release captured state before accounting
+        Pending next;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          --unfinished_;
+          if (!backlog_.empty()) {
+            next = std::move(backlog_.front());
+            backlog_.pop_front();
+          } else {
+            --in_flight_;
+          }
+          if (unfinished_ == 0) idle_cv_.notify_all();
+        }
+        // When unfinished_ hit zero the backlog was necessarily empty
+        // (backlogged tasks count as unfinished), so `next` is empty and
+        // this closure no longer touches the pool — a waiter woken by
+        // the notify above is free to destroy it.
+        if (next.fn) dispatch(std::move(next));
+      },
+      depth);
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(wake_mutex_);
-  idle_cv_.wait(lock, [this] { return unfinished_.load() == 0; });
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return unfinished_ == 0; });
 }
 
 }  // namespace metaopt::runner

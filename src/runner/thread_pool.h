@@ -1,81 +1,81 @@
-// Work-stealing thread pool for the scenario-sweep engine.
+// Width-limited façade over the process-wide work-stealing Scheduler.
 //
-// Each worker owns a deque: it pushes/pops its own work at the front
-// (LIFO, cache-friendly for nested submits) and steals from the *back*
-// of a sibling's deque when its own runs dry — the classic
-// work-stealing discipline (Blumofe & Leiserson), implemented with
-// per-deque mutexes rather than a lock-free Chase-Lev deque because
-// sweep jobs are seconds-long solver calls: queue overhead is noise,
-// and the simple locking version is trivially ThreadSanitizer-clean.
+// ThreadPool used to own its workers; since the unified scheduler
+// (scheduler.h) it owns none. A pool of width N is now an *admission
+// limit*: at most N of its tasks are in flight on the shared scheduler
+// at once, the rest wait in a backlog and are dispatched as completions
+// free a slot. Construction grows the shared pool to at least N
+// workers (it never shrinks), so total process threads are bounded by
+// the largest width any component asked for — not by a product of
+// nested pool widths.
 //
-// Determinism note: the pool makes no ordering promises — callers that
-// need reproducible output must key results by task identity (see
-// SweepRunner, which writes results into per-job slots and sorts by job
-// id), never by completion order.
+// The public contract is unchanged: submit() is safe from any thread
+// including from inside a running task, wait_idle() blocks until every
+// task submitted so far has finished, and the destructor drains before
+// returning. Determinism note: the pool makes no ordering promises —
+// callers that need reproducible output must key results by task
+// identity (see SweepRunner, which writes results into per-job slots
+// and sorts by job id), never by completion order.
 #pragma once
 
-#include <atomic>
 #include <condition_variable>
-#include <cstddef>
 #include <deque>
 #include <functional>
-#include <memory>
 #include <mutex>
-#include <thread>
-#include <vector>
 
 namespace metaopt::runner {
 
 class ThreadPool {
  public:
-  /// Starts `num_threads` workers; <= 0 means hardware_concurrency().
+  /// Admission width `num_threads`; <= 0 means hardware_concurrency().
+  /// Grows the shared scheduler to at least that many workers.
   explicit ThreadPool(int num_threads = 0);
 
-  /// Drains every submitted task, then joins the workers.
+  /// Drains every submitted task (wait_idle), then releases the pool.
+  /// The shared scheduler's workers live on.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. Safe from any thread, including from inside a
-  /// running task (nested submits land at the front of the submitting
-  /// worker's own deque; external submits are dealt round-robin).
+  /// running task (the scheduler lands nested submits at the front of
+  /// the submitting worker's own deque; external submits are dealt
+  /// round-robin).
   void submit(std::function<void()> task);
 
   /// Blocks until every task submitted so far has finished executing.
   void wait_idle();
 
-  [[nodiscard]] int num_threads() const {
-    return static_cast<int>(workers_.size());
-  }
+  /// The admission width (not the shared scheduler's worker count).
+  [[nodiscard]] int num_threads() const { return width_; }
 
   /// hardware_concurrency() with a floor of 1.
   static int default_threads();
 
  private:
-  struct Deque {
-    std::mutex mutex;
-    std::deque<std::function<void()>> tasks;
+  /// A submitted-but-not-yet-dispatched task. The depth tag is captured
+  /// at submit() time: a backlogged task dispatched later from some
+  /// completion wrapper must keep its submitter's nesting depth, not
+  /// the wrapper's.
+  struct Pending {
+    std::function<void()> fn;
+    int depth = 0;
   };
 
-  void worker_loop(int self);
-  bool try_pop(int self, std::function<void()>& task);
+  /// Hands one task to the shared scheduler, wrapped with the
+  /// completion bookkeeping that refills the slot from the backlog.
+  void dispatch(Pending task);
 
-  std::vector<std::unique_ptr<Deque>> deques_;
-  std::vector<std::thread> workers_;
+  int width_ = 1;
 
-  // wake_mutex_ guards stop_ and pairs with both condition variables.
-  // queued_/unfinished_ are additionally atomic so try_pop can check
-  // emptiness without the global lock, but every increment that can turn
-  // a wait predicate true happens under wake_mutex_ — otherwise the
-  // paired notify could race a waiter's predicate check and be lost.
-  std::mutex wake_mutex_;
-  std::condition_variable wake_cv_;
+  // mutex_ guards everything below; unfinished_'s decrement-to-zero is
+  // notified under the lock so wait_idle can never miss it.
+  std::mutex mutex_;
   std::condition_variable idle_cv_;
-  bool stop_ = false;
-  std::atomic<long> queued_{0};      ///< submitted, not yet popped
-  std::atomic<long> unfinished_{0};  ///< submitted, not yet completed
-  std::atomic<std::size_t> next_deque_{0};
+  std::deque<Pending> backlog_;
+  long in_flight_ = 0;   ///< dispatched to the scheduler, not finished
+  long unfinished_ = 0;  ///< submitted to this pool, not finished
 };
 
 }  // namespace metaopt::runner

@@ -1,23 +1,33 @@
 // Process-wide awareness of nested parallelism.
 //
-// Components that can fan out onto their own worker threads (the sweep
-// runner's ThreadPool, the parallel branch-and-bound) mark each worker
-// thread with the width of the region it belongs to. A nested component
-// checks `parallel_region_width()` before spawning its own workers: when
-// it is already running inside a region wider than one thread, spawning
-// more would oversubscribe the machine (N sweep jobs x M B&B workers),
-// so it clamps itself to a single thread instead.
+// Two thread-local markers cooperate here:
 //
-// The marker is a plain thread_local — no atomics, no registry — because
-// the question is always "is *this* thread already a parallel worker?",
-// never a cross-thread query. Width 1 (a single-threaded pool) does not
-// inhibit nested parallelism; only width > 1 does.
+//   * parallel_region_width() — the width of the worker pool this thread
+//     belongs to. Informational: components log it and tests assert on
+//     it. (It used to drive a clamp that forced a nested B&B serial
+//     inside a sweep; the shared work-stealing scheduler made the clamp
+//     obsolete — total workers are bounded by the largest
+//     ensure_threads() request, never by a product of nested widths.)
+//
+//   * task_depth() — the nesting depth of the scheduler task this thread
+//     is currently executing (-1 when it is not running a scheduler task
+//     at all). Submitters tag child tasks with task_depth() + 1, so an
+//     outer sweep job runs at depth 0 and the B&B helpers it spawns run
+//     at depth 1. The scheduler uses the tag for its per-depth execution
+//     histogram, and — crucially — the tag travels with the *task*, not
+//     the thread, so work handed to a helper thread keeps its place in
+//     the nesting no matter which worker picks it up.
+//
+// Both markers are plain thread_locals — no atomics, no registry —
+// because the question is always about *this* thread, never a
+// cross-thread query.
 #pragma once
 
 namespace metaopt::util {
 
 namespace detail {
 inline thread_local int t_parallel_region_width = 0;
+inline thread_local int t_task_depth = -1;
 }  // namespace detail
 
 /// Width of the innermost parallel region this thread is a worker of
@@ -25,6 +35,12 @@ inline thread_local int t_parallel_region_width = 0;
 inline int parallel_region_width() {
   return detail::t_parallel_region_width;
 }
+
+/// Nesting depth of the scheduler task this thread is executing, or -1
+/// when the thread is not inside a scheduler task. Submit children at
+/// `task_depth() + 1`: -1 + 1 == 0 makes external submissions depth 0
+/// without a special case.
+inline int task_depth() { return detail::t_task_depth; }
 
 /// RAII marker: declares the current thread a worker of a parallel
 /// region of `width` sibling threads for the scope's lifetime. Nests:
@@ -39,6 +55,24 @@ class ScopedParallelWorker {
 
   ScopedParallelWorker(const ScopedParallelWorker&) = delete;
   ScopedParallelWorker& operator=(const ScopedParallelWorker&) = delete;
+
+ private:
+  int prev_;
+};
+
+/// RAII marker: the current thread is executing a scheduler task at
+/// `depth` for the scope's lifetime. Nests (inline joins run a child
+/// task on its parent's stack); the previous depth is restored on
+/// destruction.
+class ScopedTaskDepth {
+ public:
+  explicit ScopedTaskDepth(int depth) : prev_(detail::t_task_depth) {
+    detail::t_task_depth = depth;
+  }
+  ~ScopedTaskDepth() { detail::t_task_depth = prev_; }
+
+  ScopedTaskDepth(const ScopedTaskDepth&) = delete;
+  ScopedTaskDepth& operator=(const ScopedTaskDepth&) = delete;
 
  private:
   int prev_;

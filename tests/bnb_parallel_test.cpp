@@ -1,11 +1,14 @@
 // Parallel branch-and-bound: thread-count invariance of certified
 // answers (the headline contract — bit-identical optimal objectives for
-// threads 1/2/4), the oversubscription clamp, complete node-outcome
-// accounting (no popped node ever vanishes without a counter), and the
-// regression for complementarity pairs whose both sides get tightened
-// above zero (previously dropped silently; now pruned as infeasible).
+// threads 1/2/4), the shared-scheduler oversubscription bound (max of
+// component requests, never their product — replacing the old clamp),
+// complete node-outcome accounting (no popped node ever vanishes
+// without a counter), and the regression for complementarity pairs
+// whose both sides get tightened above zero (previously dropped
+// silently; now pruned as infeasible).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -13,6 +16,7 @@
 #include "mip/branch_and_bound.h"
 #include "net/topologies.h"
 #include "obs/metrics.h"
+#include "runner/scheduler.h"
 #include "te/demand.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -126,26 +130,41 @@ TEST(BnbParallel, Fig1DpGapIdenticalAcrossThreads) {
   }
 }
 
-TEST(BnbParallel, OversubscriptionGuardClampsInsideParallelRegion) {
-  // A B&B invoked from inside someone else's worker pool (sweep jobs)
-  // must not multiply the machine's thread count: it clamps to 1 and
-  // reports so through the bnb.threads gauge.
+TEST(BnbParallel, NoClampAndBoundedWorkersInsideParallelRegion) {
+  // The old contract clamped a B&B inside someone else's parallel
+  // region to one thread. With the shared scheduler the request is
+  // honored everywhere — a nested B&B borrows workers from the same
+  // process-wide pool instead of spawning its own — and the bound that
+  // matters is structural: the pool grows to max(component requests),
+  // never their product, region marker or not.
   obs::set_enabled(true);
   util::Rng rng(util::derive_seed(20260807, 52));
   const Model m = make_random_mip(rng);
   MipOptions opt;
-  opt.threads = 4;
 
+  opt.threads = 1;
+  const auto ref = BranchAndBound(opt).solve(m);
+  ASSERT_EQ(ref.status, SolveStatus::Optimal);
+
+  opt.threads = 4;
+  const int before = runner::Scheduler::global().num_threads();
   {
     const util::ScopedParallelWorker region(8);
     const auto sol = BranchAndBound(opt).solve(m);
     ASSERT_EQ(sol.status, SolveStatus::Optimal);
-    EXPECT_EQ(metric(obs::snapshot(), "bnb.threads"), 1.0);
+    // Request honored (no clamp) and the certified answer unchanged.
+    EXPECT_EQ(metric(obs::snapshot(), "bnb.threads"), 4.0);
+    EXPECT_EQ(sol.objective, ref.objective);
   }
-  // Outside the region the request is honored.
+  // The shared pool grew to at most max(before, mip threads): the
+  // claimed width-8 region did not multiply into 8 x 4 workers.
+  const int after = runner::Scheduler::global().num_threads();
+  EXPECT_EQ(after, std::max(before, 4));
+
   const auto sol = BranchAndBound(opt).solve(m);
   ASSERT_EQ(sol.status, SolveStatus::Optimal);
   EXPECT_EQ(metric(obs::snapshot(), "bnb.threads"), 4.0);
+  EXPECT_EQ(runner::Scheduler::global().num_threads(), after);
   obs::set_enabled(false);
 }
 

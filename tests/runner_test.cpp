@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <filesystem>
 #include <fstream>
 #include <regex>
 #include <set>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "domains/domains.h"
+#include "runner/jsonl_io.h"
 #include "runner/sweep_runner.h"
 #include "runner/sweep_spec.h"
 #include "runner/thread_pool.h"
@@ -592,6 +594,239 @@ TEST(SweepRunnerTest, WritesJsonlAndCsvArtifacts) {
   EXPECT_EQ(line, "figure,series,x,y,extra");
   ASSERT_TRUE(std::getline(csv_in, line));
   EXPECT_NE(line.find("sweeptest,b4/dp"), std::string::npos);
+}
+
+// Regression (sweep-pipeline bugfix batch): write_csv used to emit a row
+// for every job, including Failed ones whose `result` is documented
+// invalid — garbage gaps straight into the figure data.
+TEST(SweepRunnerTest, CsvSkipsFailedJobs) {
+  const std::vector<JobSpec> jobs = expand_spec(small_spec());
+  SweepOptions options;
+  options.threads = 2;
+  options.log_progress = false;
+  const SweepReport report =
+      SweepRunner(options).run_jobs(jobs, [](const JobSpec& job) {
+        if (job.id % 3 == 0) throw std::runtime_error("injected failure");
+        return fake_solve(job);
+      });
+  ASSERT_GT(report.num_failed, 0);
+  ASSERT_GT(report.num_ok, 0);
+
+  const std::string csv_path =
+      ::testing::TempDir() + "metaopt_runner_test_failed.csv";
+  std::filesystem::remove(csv_path);  // CsvWriter appends by design
+  report.write_csv(csv_path, "failtest");
+  std::ifstream in(csv_path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));  // header
+  int rows = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++rows;
+  }
+  // Exactly the Ok jobs made it into the figure data.
+  EXPECT_EQ(rows, report.num_ok);
+}
+
+// Regression (sweep-pipeline bugfix batch): the CSV series column was
+// hardcoded to "<topology>/<heuristic>", mislabeling bin-packing jobs
+// with a topology that means nothing to them.
+TEST(SweepRunnerTest, CsvSeriesIsFamilyAware) {
+  SweepSpec spec;
+  spec.topologies = {"b4"};
+  spec.heuristics = {Heuristic::Dp, Heuristic::Ffd};
+  spec.thresholds = {50.0};
+  spec.items = {6};
+  spec.dims = 2;
+  SweepOptions options;
+  options.threads = 1;
+  options.log_progress = false;
+  const SweepReport report =
+      SweepRunner(options).run_jobs(expand_spec(spec), fake_solve);
+  ASSERT_EQ(report.num_ok, 2);
+
+  const std::string csv_path =
+      ::testing::TempDir() + "metaopt_runner_test_series.csv";
+  std::filesystem::remove(csv_path);  // CsvWriter appends by design
+  report.write_csv(csv_path, "famtest");
+  std::ifstream in(csv_path);
+  ASSERT_TRUE(in.good());
+  std::string all, line;
+  while (std::getline(in, line)) all += line + "\n";
+  // TE series keep the topology; bin-packing series carry the dims.
+  EXPECT_NE(all.find("famtest,b4/dp"), std::string::npos);
+  EXPECT_NE(all.find("famtest,ffd/d2"), std::string::npos);
+  EXPECT_EQ(all.find("famtest,b4/ffd"), std::string::npos)
+      << "binpack row mislabeled with a topology:\n"
+      << all;
+}
+
+// ------------------------------------------------- sharding and resume
+
+SweepSpec shard_spec() {
+  SweepSpec spec = small_spec();
+  spec.seeds = {1, 2, 3, 4};  // 2 topologies x 3 thresholds x 4 = 24 jobs
+  return spec;
+}
+
+TEST(SweepRunnerTest, ShardedRunsMergeByteIdentical) {
+  const std::vector<JobSpec> jobs = expand_spec(shard_spec());
+  ASSERT_EQ(jobs.size(), 24u);
+
+  // Reference: unsharded, single-threaded.
+  SweepOptions ref_options;
+  ref_options.threads = 1;
+  ref_options.log_progress = false;
+  const std::string reference = strip_wall_times(
+      SweepRunner(ref_options).run_jobs(jobs, fake_solve).jsonl());
+
+  const std::string dir = ::testing::TempDir() + "metaopt_shard_test";
+  for (const int shard_count : {1, 3}) {
+    for (const int threads : {1, 2, 4}) {
+      std::vector<std::string> shard_paths;
+      for (int shard = 0; shard < shard_count; ++shard) {
+        SweepOptions options;
+        options.threads = threads;
+        options.log_progress = false;
+        options.shard_index = shard;
+        options.shard_count = shard_count;
+        const SweepReport report =
+            SweepRunner(options).run_jobs(jobs, fake_solve);
+        // Each shard ran its slice and nothing else.
+        int expected = 0;
+        for (const JobSpec& job : jobs) {
+          if (job.id % shard_count == shard) ++expected;
+        }
+        EXPECT_EQ(static_cast<int>(report.jobs.size()), expected);
+        const std::string path = dir + "/s" + std::to_string(shard_count) +
+                                 "_t" + std::to_string(threads) + "_" +
+                                 std::to_string(shard) + ".jsonl";
+        report.write_jsonl(path);
+        shard_paths.push_back(path);
+      }
+      const std::string merged =
+          strip_wall_times(merge_shard_jsonl(shard_paths));
+      EXPECT_EQ(merged, reference)
+          << "shards=" << shard_count << " threads=" << threads;
+    }
+  }
+}
+
+TEST(SweepRunnerTest, MergeRejectsOverlappingShards) {
+  const std::vector<JobSpec> jobs = expand_spec(small_spec());
+  SweepOptions options;
+  options.threads = 1;
+  options.log_progress = false;
+  const SweepReport report = SweepRunner(options).run_jobs(jobs, fake_solve);
+  const std::string path =
+      ::testing::TempDir() + "metaopt_shard_test_overlap.jsonl";
+  report.write_jsonl(path);
+  EXPECT_THROW(merge_shard_jsonl({path, path}), std::runtime_error);
+}
+
+TEST(SweepRunnerTest, RunJobsRejectsBadShardOptions) {
+  const std::vector<JobSpec> jobs = expand_spec(small_spec());
+  SweepOptions options;
+  options.log_progress = false;
+  options.shard_count = 0;
+  EXPECT_THROW((void)SweepRunner(options).run_jobs(jobs, fake_solve),
+               std::invalid_argument);
+  options.shard_count = 3;
+  options.shard_index = 3;
+  EXPECT_THROW((void)SweepRunner(options).run_jobs(jobs, fake_solve),
+               std::invalid_argument);
+}
+
+TEST(SweepRunnerTest, KillAndResumeSkipsCompletedJobs) {
+  const std::vector<JobSpec> jobs = expand_spec(shard_spec());
+  const std::string dir = ::testing::TempDir() + "metaopt_resume_test";
+  const std::string manifest = dir + "/ck.json";
+
+  // Count executions per job id across both runs: the resume contract is
+  // that no checkpointed job ever runs twice.
+  std::vector<std::atomic<int>> executions(jobs.size());
+  const auto counting_solve = [&executions](const JobSpec& job) {
+    executions[static_cast<std::size_t>(job.id)].fetch_add(1);
+    return fake_solve(job);
+  };
+
+  // First run: killed (stop_after) once 5 jobs completed. Single thread
+  // so exactly 5 jobs finish before the stop flag is honored.
+  SweepOptions first;
+  first.threads = 1;
+  first.log_progress = false;
+  first.checkpoint_path = manifest;
+  first.checkpoint_every = 1;
+  first.stop_after = 5;
+  const SweepReport killed = SweepRunner(first).run_jobs(jobs, counting_solve);
+  EXPECT_EQ(killed.num_ok, 5);
+  EXPECT_EQ(killed.num_failed, static_cast<int>(jobs.size()) - 5);
+
+  // Second run resumes from the manifest and finishes the campaign.
+  SweepOptions second;
+  second.threads = 2;
+  second.log_progress = false;
+  second.resume_manifest = manifest;
+  const SweepReport resumed =
+      SweepRunner(second).run_jobs(jobs, counting_solve);
+  EXPECT_EQ(resumed.num_resumed, 5);
+  EXPECT_EQ(resumed.num_ok, static_cast<int>(jobs.size()));
+  EXPECT_EQ(resumed.num_failed, 0);
+
+  // No job executed more than once across kill + resume.
+  for (std::size_t i = 0; i < executions.size(); ++i) {
+    EXPECT_EQ(executions[i].load(), 1) << "job " << i << " re-executed";
+  }
+
+  // And the stitched-together campaign is byte-identical to a fresh
+  // unsharded run (resumed records carry the first run's bytes).
+  SweepOptions ref_options;
+  ref_options.threads = 1;
+  ref_options.log_progress = false;
+  const std::string reference = strip_wall_times(
+      SweepRunner(ref_options).run_jobs(jobs, fake_solve).jsonl());
+  EXPECT_EQ(strip_wall_times(resumed.jsonl()), reference);
+}
+
+TEST(SweepRunnerTest, ResumeRejectsMismatchedCampaign) {
+  const std::vector<JobSpec> jobs = expand_spec(small_spec());
+  const std::string manifest =
+      ::testing::TempDir() + "metaopt_resume_mismatch/ck.json";
+  SweepOptions first;
+  first.threads = 1;
+  first.log_progress = false;
+  first.checkpoint_path = manifest;
+  (void)SweepRunner(first).run_jobs(jobs, fake_solve);
+
+  // Same job count, different content -> fingerprint differs -> throw.
+  SweepSpec edited = small_spec();
+  edited.thresholds = {26.0, 50.0, 100.0};
+  SweepOptions second;
+  second.threads = 1;
+  second.log_progress = false;
+  second.resume_manifest = manifest;
+  EXPECT_THROW(
+      (void)SweepRunner(second).run_jobs(expand_spec(edited), fake_solve),
+      std::runtime_error);
+  // Mismatched shard coordinates are rejected too.
+  second.shard_index = 0;
+  second.shard_count = 2;
+  EXPECT_THROW((void)SweepRunner(second).run_jobs(jobs, fake_solve),
+               std::runtime_error);
+}
+
+TEST(SweepSpecTest, FingerprintSeesEveryFieldAndIgnoresNothing) {
+  const std::vector<JobSpec> a = expand_spec(small_spec());
+  EXPECT_EQ(jobs_fingerprint(a), jobs_fingerprint(expand_spec(small_spec())));
+  std::vector<JobSpec> b = a;
+  b[3].threshold += 1e-9;
+  EXPECT_NE(jobs_fingerprint(a), jobs_fingerprint(b));
+  b = a;
+  b[0].deterministic = !b[0].deterministic;
+  EXPECT_NE(jobs_fingerprint(a), jobs_fingerprint(b));
+  b = a;
+  b.pop_back();
+  EXPECT_NE(jobs_fingerprint(a), jobs_fingerprint(b));
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 //   metaopt search hill|anneal|random|quant <heuristic>
 //                                                  black-box baselines
 //   metaopt sweep key=value... [options]           parallel scenario sweep
+//   metaopt merge-shards --out F shard...          recombine shard JSONL
 //   metaopt explain <heuristic> [options]          minimal adversarial core
 //   metaopt help | --help                          subcommand overview
 //
@@ -26,8 +27,22 @@
 //                      separated, # comments) from FILE before argv ones
 //   --jsonl FILE       write one JSON record per job
 //   --quiet            suppress per-job progress lines
+//   --shard i/N        run only jobs with id % N == i (partitioned after
+//                      expansion: shard outputs merge byte-identically)
+//   --checkpoint M     write a resume manifest to M (+ completed records
+//                      to M.partial.jsonl) as the campaign progresses
+//   --checkpoint-every K   manifest rewrite cadence (default 1 = every
+//                      completed job)
+//   --resume M         skip jobs a prior run's manifest M recorded done;
+//                      their JSONL lines carry over byte-for-byte
 // Sweep exit codes: 0 = ok (≥1 job finished with an incumbent), 1 = a
 // job failed, 3 = no failures but every job timed out empty-handed.
+//
+// merge-shards recombines per-shard campaign files:
+//   metaopt merge-shards --out merged.jsonl s0.jsonl s1.jsonl s2.jsonl
+// Records are carried over verbatim and sorted by job id, so the merged
+// file is byte-identical to the unsharded run (modulo wall-time fields,
+// which differ per machine — strip them when diffing).
 //
 // Explain shrinks a gap witness to a minimal adversarial core: the
 // smallest element subset (demand pairs / items) whose sub-instance
@@ -60,8 +75,10 @@
 //   --bins B           bin packing: bin budget     (default: one per item)
 //   --seed S           RNG seed                    (default 1)
 //   --mip-threads N    B&B worker threads (find/bound; default 1;
-//                      sweep jobs take mip-threads= in the spec instead,
-//                      and clamp to 1 when the sweep itself is parallel)
+//                      sweep jobs take mip-threads= in the spec instead —
+//                      helpers come from the shared scheduler, so a
+//                      width-T sweep with M mip threads uses max(T, M)
+//                      workers total, never T x M)
 //   --pricing RULE     simplex pricing: partial (default) | dantzig |
 //                      steepest (Devex reference weights)
 //   --certify          independently certify every solve (find/bound)
@@ -413,6 +430,29 @@ int cmd_sweep(const Args& args) {
   runner::SweepOptions options;
   options.threads = static_cast<int>(args.get_num("threads", 0));
   options.log_progress = false;
+  // --shard i/N: run only the jobs with id % N == i (partitioned after
+  // expansion, so shard output merges byte-identically — see
+  // merge-shards).
+  if (const std::string shard = args.get("shard", ""); !shard.empty()) {
+    const std::size_t slash = shard.find('/');
+    if (slash == std::string::npos || slash == 0 ||
+        slash + 1 >= shard.size()) {
+      std::fprintf(stderr, "--shard wants i/N (e.g. --shard 0/3), got '%s'\n",
+                   shard.c_str());
+      return 2;
+    }
+    options.shard_index = std::atoi(shard.substr(0, slash).c_str());
+    options.shard_count = std::atoi(shard.substr(slash + 1).c_str());
+    if (options.shard_count < 1 || options.shard_index < 0 ||
+        options.shard_index >= options.shard_count) {
+      std::fprintf(stderr, "--shard %s: index out of range\n", shard.c_str());
+      return 2;
+    }
+  }
+  options.checkpoint_path = args.get("checkpoint", "");
+  options.checkpoint_every =
+      static_cast<int>(args.get_num("checkpoint-every", 1));
+  options.resume_manifest = args.get("resume", "");
   if (args.flags.count("quiet") == 0) {
     options.on_progress = [](const runner::JobResult& job, int done,
                              int total) {
@@ -432,9 +472,15 @@ int cmd_sweep(const Args& args) {
 
   const runner::SweepReport report = runner::SweepRunner(options).run(spec);
 
-  std::printf("jobs:      %zu (%d ok, %d timeout, %d failed)\n",
+  std::printf("jobs:      %zu (%d ok, %d timeout, %d failed",
               report.jobs.size(), report.num_ok, report.num_timeout,
               report.num_failed);
+  if (report.num_resumed > 0) std::printf(", %d resumed", report.num_resumed);
+  std::printf(")\n");
+  if (options.shard_count > 1) {
+    std::printf("shard:     %d/%d\n", options.shard_index,
+                options.shard_count);
+  }
   std::printf("threads:   %d\n", report.threads);
   std::printf("wall:      %.2fs\n", report.wall_seconds);
   double worst = 0.0;
@@ -477,6 +523,32 @@ int cmd_sweep(const Args& args) {
   // timed out with no incumbent), so the campaign was unproductive.
   if (report.num_failed > 0) return 1;
   return report.num_ok > 0 ? 0 : 3;
+}
+
+int cmd_merge_shards(const Args& args) {
+  // metaopt merge-shards --out merged.jsonl shard0.jsonl shard1.jsonl ...
+  const std::string out_path = args.get("out", "");
+  std::vector<std::string> inputs(args.positional.begin() + 1,
+                                  args.positional.end());
+  if (out_path.empty() || inputs.empty()) {
+    std::fprintf(stderr,
+                 "usage: metaopt merge-shards --out merged.jsonl "
+                 "shard0.jsonl shard1.jsonl ...\n");
+    return 2;
+  }
+  const std::string merged = runner::merge_shard_jsonl(inputs);
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot open '%s'\n", out_path.c_str());
+    return 1;
+  }
+  out << merged;
+  out.close();
+  std::size_t records = 0;
+  for (char c : merged) records += c == '\n';
+  std::printf("merged %zu records from %zu shards into %s\n", records,
+              inputs.size(), out_path.c_str());
+  return 0;
 }
 
 int cmd_explain(const Args& args) {
@@ -610,6 +682,10 @@ void print_help(std::FILE* out) {
       "  search hill|anneal|random|quant <heuristic>\n"
       "                        black-box baselines\n"
       "  sweep key=value...    parallel scenario sweep\n"
+      "                        (--shard i/N, --checkpoint M, --resume M\n"
+      "                        for sharded / restartable campaigns)\n"
+      "  merge-shards --out F  recombine per-shard sweep JSONL files\n"
+      "                        (byte-identical to the unsharded run)\n"
       "  explain <heuristic>   minimal adversarial core of a gap witness\n"
       "                        (also: explain --jsonl FILE from a sweep)\n"
       "  help                  this overview\n"
@@ -687,6 +763,7 @@ int main(int argc, char** argv) {
     else if (command == "bound") rc = cmd_bound(args);
     else if (command == "search") rc = cmd_search(args);
     else if (command == "sweep") rc = cmd_sweep(args);
+    else if (command == "merge-shards") rc = cmd_merge_shards(args);
     else if (command == "explain") rc = cmd_explain(args);
     else if (command == "help") { print_help(stdout); rc = 0; }
     else {
